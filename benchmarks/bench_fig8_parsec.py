@@ -1,0 +1,75 @@
+"""Figure 8(c,d) + headline result — PARSEC 2.1 full-system evaluation.
+
+Runs the nine synthetic PARSEC profiles on the gem5-like CMP substrate
+(MESI over 3 vnets, 4 corner MCs) under Baseline / RP / gFLOV (rFLOV
+included in the summary average).
+
+Paper's headline (SS VI-B3): FLOV cuts static energy ~43% vs Baseline
+and ~22% vs RP, total energy ~18% vs RP, with ~1% performance loss.
+Our substrate is synthetic, so we assert the *shape*: large static
+savings vs Baseline, additional savings vs RP, small runtime penalty.
+"""
+
+from _common import FS_INSTRUCTIONS, FS_MAX_CYCLES, banner
+
+from repro.fullsystem import PARSEC, CmpSystem
+from repro.harness import normalized_table
+
+MECHS = ("baseline", "rp", "rflov", "gflov")
+
+
+def _run():
+    results = {}
+    for bench in PARSEC:
+        for mech in MECHS:
+            system = CmpSystem(bench, mech,
+                               instructions_per_core=FS_INSTRUCTIONS, seed=5)
+            results[(bench, mech)] = system.run(max_cycles=FS_MAX_CYCLES)
+    return results
+
+
+def test_fig8cd_parsec_energy_and_runtime(benchmark):
+    banner("Figure 8(c,d) + headline",
+           "PARSEC full-system static energy / runtime")
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print(f"{'benchmark':>14} {'mech':>9} {'runtime':>9} {'static_uJ':>10} "
+          f"{'total_uJ':>9} {'sleep':>6} {'netlat':>7} {'fin':>4}")
+    ratios = {m: {"static": [], "total": [], "runtime": []}
+              for m in MECHS if m != "baseline"}
+    for bench in PARSEC:
+        base = results[(bench, "baseline")]
+        for mech in MECHS:
+            r = results[(bench, mech)]
+            print(f"{bench:>14} {mech:>9} {r.runtime_cycles:9d} "
+                  f"{r.static_j * 1e6:10.2f} {r.total_j * 1e6:9.2f} "
+                  f"{r.sleeping_routers:6d} {r.avg_net_latency:7.1f} "
+                  f"{str(r.finished):>4}")
+            assert r.finished, f"{bench}/{mech} did not finish"
+            if mech != "baseline":
+                ratios[mech]["static"].append(r.static_j / base.static_j)
+                ratios[mech]["total"].append(r.total_j / base.total_j)
+                ratios[mech]["runtime"].append(
+                    r.runtime_cycles / base.runtime_cycles)
+
+    print("\nAverages normalized to Baseline:")
+    rows = {}
+    for mech, d in ratios.items():
+        rows[mech] = {k: sum(v) / len(v) for k, v in d.items()}
+    rows["baseline"] = {"static": 1.0, "total": 1.0, "runtime": 1.0}
+    print(normalized_table("  (paper: gFLOV static 0.57x Baseline, "
+                           "0.78x RP; runtime ~1.01x)", rows, "baseline"))
+
+    g = rows["gflov"]
+    rp = rows["rp"]
+    # headline shapes (short-mode magnitudes are diluted by startup
+    # transients and the all-64-thread benchmarks; REPRO_FULL runs save
+    # substantially more — see EXPERIMENTS.md)
+    assert g["static"] < 0.90, "gFLOV should save substantial static energy"
+    assert g["static"] < rp["static"], "gFLOV should beat RP on static"
+    assert g["total"] < rp["total"], "gFLOV should beat RP on total energy"
+    assert g["runtime"] < 1.08, "gFLOV performance loss should be small"
+    print(f"\ngFLOV vs RP: static {g['static'] / rp['static'] - 1:+.1%}, "
+          f"total {g['total'] / rp['total'] - 1:+.1%}; "
+          f"gFLOV vs Baseline: static {g['static'] - 1:+.1%}, "
+          f"runtime {g['runtime'] - 1:+.1%}")

@@ -1,0 +1,56 @@
+"""Table I + SS V-A — testbed configuration and FLOV overhead analysis.
+
+Prints the simulation parameters actually used (they must equal Table I)
+and reproduces the overhead analysis of Section V-A: PSR bits, HSC wire
+count, and the FLOV additions' share of router power (~3%).
+"""
+
+from _common import banner
+
+from repro.config import NoCConfig, PowerConfig, table1_config
+from repro.power.dsent import link_static_w, router_breakdown
+from repro.power.overhead import flov_overhead_report
+
+
+def test_table1_configuration(benchmark):
+    banner("Table I", "simulation testbed parameters")
+    cfg = benchmark.pedantic(table1_config, rounds=1, iterations=1)
+    pcfg = PowerConfig()
+    rows = [
+        ("Network Topology", f"{cfg.width}x{cfg.height} Mesh"),
+        ("Input Buffer Depth", f"{cfg.buffer_depth} flits"),
+        ("Router", f"{cfg.router_latency}-stage "
+                   f"({cfg.router_latency} cycles)"),
+        ("Virtual Channel", f"{cfg.num_vcs} regular + {cfg.escape_vcs} "
+                            f"escape VC per vnet"),
+        ("Packet Size", f"{cfg.packet_size} flits/packet (synthetic)"),
+        ("Clock Frequency", f"{pcfg.frequency_hz / 1e9:.0f} GHz"),
+        ("Link", f"1mm, {cfg.link_latency} cycle, "
+                 f"{cfg.flit_width_bytes} B width"),
+        ("Power-Gating overhead", f"{pcfg.gating_overhead_j * 1e12:.1f} pJ"),
+        ("Wakeup latency", f"{cfg.wakeup_latency} cycles"),
+        ("Baseline Routing", "YX Routing"),
+    ]
+    for k, v in rows:
+        print(f"  {k:<24} {v}")
+    assert (cfg.width, cfg.height) == (8, 8)
+    assert cfg.buffer_depth == 6 and cfg.router_latency == 3
+    assert cfg.num_vcs == 3 and cfg.escape_vcs == 1
+    assert cfg.wakeup_latency == 10
+    assert pcfg.gating_overhead_j == 17.7e-12
+
+
+def test_overhead_analysis(benchmark):
+    banner("SS V-A", "FLOV area/power overhead analysis")
+    report = benchmark.pedantic(flov_overhead_report, args=(NoCConfig(),),
+                                rounds=1, iterations=1)
+    print(report.render())
+    # paper: 2 sets of 4-entry 2-bit PSRs = 16 bits; 6 HSC wires/neighbor
+    assert report.psr_bits == 16
+    assert report.hsc_wires_per_neighbor == 6
+    # FLOV additions ~3% of the baseline router
+    assert 0.01 < report.power_overhead_fraction < 0.06
+    bd = router_breakdown(NoCConfig())
+    assert report.power_overhead_fraction == (
+        bd.flov_overhead / bd.baseline_total)
+    assert link_static_w(NoCConfig()) > 0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Full-system example: run a PARSEC workload on the 64-core CMP.
+
+Boots the gem5-like substrate (MESI directory coherence over 3 virtual
+networks, 4 corner memory controllers), consolidates x264's threads onto
+half the chip, and compares network energy under Baseline / RP / gFLOV.
+
+Run:  python examples/parsec_fullsystem.py [benchmark]
+"""
+
+import sys
+
+from repro.fullsystem import PARSEC, CmpSystem
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    profile = PARSEC[bench]
+    print(f"benchmark: {bench} — {profile.active_fraction:.0%} of cores "
+          f"host threads, mem ratio {profile.mem_ratio}, "
+          f"sharing {profile.sharing}\n")
+    print(f"{'mechanism':>10} {'runtime':>9} {'IPC':>7} {'L1 miss':>8} "
+          f"{'net lat':>8} {'static uJ':>10} {'total uJ':>9} {'sleep':>6}")
+    base = None
+    for mech in ("baseline", "rp", "gflov"):
+        system = CmpSystem(bench, mech, instructions_per_core=600, seed=5)
+        res = system.run(max_cycles=200_000)
+        if base is None:
+            base = res
+        print(f"{mech:>10} {res.runtime_cycles:9d} {res.ipc:7.2f} "
+              f"{res.l1_miss_rate:8.2%} {res.avg_net_latency:8.1f} "
+              f"{res.static_j * 1e6:10.2f} {res.total_j * 1e6:9.2f} "
+              f"{res.sleeping_routers:6d}")
+    print("\nStatic network energy falls with the number of sleeping")
+    print("routers; runtime stays within ~1% of the baseline — the")
+    print("paper's headline full-system result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate gFLOV on an 8x8 mesh with 40% of cores gated.
+
+Builds the Table-I network, installs an OS gating schedule, drives
+Uniform Random traffic, and reports latency and power next to the
+no-gating baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (NoCConfig, Network, StaticGating, TrafficGenerator,
+                   get_pattern)
+
+
+def simulate(mechanism: str) -> dict:
+    cfg = NoCConfig(mechanism=mechanism)          # Table I defaults
+    net = Network(cfg)
+
+    # The OS consolidated threads and power-gated 40% of the cores.
+    net.set_gating(StaticGating(cfg.num_routers, 0.40, seed=7))
+
+    # Uniform Random traffic at 0.02 flits/cycle/node between active cores.
+    gen = TrafficGenerator(net, get_pattern("uniform", cfg), 0.02, seed=7)
+
+    gen.run(2_000)            # warmup
+    net.begin_measurement()
+    gen.run(10_000)           # measured window
+
+    report = net.accountant.report(net.cycle)
+    power = report.power_w(net.pcfg.cycle_time_s)
+    return {
+        "latency": net.stats.avg_latency,
+        "static_mw": power["static"] * 1e3,
+        "total_mw": power["total"] * 1e3,
+        "sleeping": net.power_states().get("SLEEP", 0),
+        "delivered": net.stats.packets_ejected,
+    }
+
+
+def main() -> None:
+    print(f"{'mechanism':>10} {'latency':>9} {'static mW':>10} "
+          f"{'total mW':>9} {'sleeping':>9} {'packets':>8}")
+    for mech in ("baseline", "gflov"):
+        r = simulate(mech)
+        print(f"{mech:>10} {r['latency']:9.2f} {r['static_mw']:10.1f} "
+              f"{r['total_mw']:9.1f} {r['sleeping']:9d} {r['delivered']:8d}")
+    print("\ngFLOV power-gates the routers of gated cores, cutting static")
+    print("power ~20% at this gating level for a modest latency cost.")
+
+
+if __name__ == "__main__":
+    main()

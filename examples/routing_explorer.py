@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Routing explorer: visualize FLOV's partition-based dynamic routing.
+
+Reproduces the paper's Figure 5 walk-throughs on an ASCII mesh: pick a
+set of power-gated routers, a source and a destination, and trace the
+hop-by-hop decisions of the regular adaptive algorithm and the escape
+sub-network.
+
+Run:  python examples/routing_explorer.py
+"""
+
+from repro import NoCConfig, Network
+from repro.core.power_fsm import PowerState
+from repro.core.routing import Hold, Route, escape_route, flov_route
+from repro.gating import EpochGating
+from repro.noc.types import DIR_DELTA, OPPOSITE, Direction
+
+
+def draw(net, path, src, dest):
+    cfg = net.cfg
+    rows = []
+    for y in reversed(range(cfg.height)):
+        cells = []
+        for x in range(cfg.width):
+            n = cfg.node_id(x, y)
+            ch = f"{n:2d}"
+            if not net.routers[n].powered:
+                ch = " X"
+            if n in path:
+                ch = " *"
+            if n == src:
+                ch = " S"
+            if n == dest:
+                ch = " D"
+            cells.append(ch)
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def trace(net, src, dest, *, escape=False):
+    cfg = net.cfg
+    dx, dy = cfg.node_xy(dest)
+    node = src
+    in_dir = Direction.LOCAL
+    path, hops = [], []
+    for _ in range(6 * cfg.width):
+        r = net.routers[node]
+        if not r.powered:  # fly over: continue straight
+            step = DIR_DELTA[OPPOSITE[in_dir]]
+            hops.append(f"{node:>2} fly-over")
+            node = cfg.node_id(r.x + step[0], r.y + step[1])
+            path.append(node)
+            continue
+        fn = escape_route if escape else flov_route
+        dec = (fn(r, dx, dy, dest) if escape
+               else fn(r, dx, dy, dest, in_dir))
+        if isinstance(dec, Hold):
+            hops.append(f"{node:>2} HOLD "
+                        f"(wake {dec.wake_target})" if dec.wake_target
+                        else f"{node:>2} HOLD")
+            break
+        if dec.out_dir == Direction.LOCAL:
+            hops.append(f"{node:>2} eject")
+            break
+        hops.append(f"{node:>2} -> {dec.out_dir.name}")
+        step = DIR_DELTA[dec.out_dir]
+        in_dir = OPPOSITE[dec.out_dir]
+        node = cfg.node_id(r.x + step[0], r.y + step[1])
+        path.append(node)
+    return path, hops
+
+
+def main() -> None:
+    cfg = NoCConfig(mechanism="gflov")
+    net = Network(cfg)
+    gated = {9, 12, 13, 17, 20, 26, 33, 41, 42, 43}
+    net.set_gating(EpochGating([(0, gated)]))
+    for _ in range(600):
+        net.step()
+    print("mesh (X = power-gated, S = source, D = dest, * = path):\n")
+
+    scenarios = [
+        ("Fig 5(a)-style: cardinal east over a gated router", 8, 11, False),
+        ("Fig 5(c)-style: quadrant with both turns gated", 18, 40, False),
+        ("escape sub-network: E -> N/S -> W turn model", 18, 40, True),
+    ]
+    for title, src, dest, esc in scenarios:
+        path, hops = trace(net, src, dest, escape=esc)
+        print(f"--- {title}: {src} -> {dest} "
+              f"{'(escape VC)' if esc else '(regular VC)'}")
+        print(draw(net, path, src, dest))
+        print("decisions: " + "; ".join(hops) + "\n")
+
+    sleeping = [r.node for r in net.routers
+                if r.state == PowerState.SLEEP]
+    print(f"power-gated routers: {sleeping}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Comparison baselines: YX baseline, Router Parking, NoRD-style ring."""
+from .router_parking import RouterParkingMechanism
+from .yx import xy_route, yx_route
+
+__all__ = ["RouterParkingMechanism", "yx_route", "xy_route"]

@@ -1,0 +1,166 @@
+"""Router Parking (Samih et al., HPCA 2013) — the paper's main baseline.
+
+A centralized Fabric Manager (FM) reacts to core power-gating events:
+
+* **Phase I (reconfiguration):** all new injections stall network-wide;
+  the FM selects the set of routers to park (attached core gated, network
+  stays connected), computes fresh up*/down* routing tables for the
+  remaining topology, and distributes them. The paper measures this
+  phase at >700 cycles; we model it as ``cfg.rp_reconfig_latency`` plus
+  waiting for in-flight packets to drain.
+* **Steady state:** parked routers are fully off (no fly-over path);
+  packets follow the distributed tables through powered routers only.
+
+Two parking policies:
+
+* ``aggressive`` — park every candidate whose removal keeps the
+  on-subgraph connected (used for the workload-independent static-power
+  comparison, Figure 9).
+* ``adaptive`` — additionally bounds the average active-pair detour to
+  ``(1 + detour_alpha) x`` the all-on average, trading static power for
+  latency as the RP paper describes (the behavior visible in Figure 6 at
+  high injection rates).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.power_fsm import PowerState
+from ..core.routing import Decision, Hold, Route
+from ..noc.mechanism import Mechanism
+from ..noc.types import Direction, Flit
+from .updown import (average_distance, build_tables, is_connected,
+                     mesh_adjacency)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..noc.network import Network
+    from ..noc.router import Router
+
+
+class RouterParkingMechanism(Mechanism):
+    name = "rp"
+
+    #: detour bound for the adaptive policy
+    detour_alpha: float = 0.30
+
+    def __init__(self, net: "Network") -> None:
+        super().__init__(net)
+        self.tables: dict[int, dict[int, Direction]] = {}
+        self.parked: frozenset[int] = frozenset()
+        self.protected: frozenset[int] = frozenset()
+        self._pending: frozenset[int] | None = None
+        self._stall_until = 0
+        self.reconfig_count = 0
+        self.reconfig_log: list[tuple[int, int]] = []  # (start, apply) cycles
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self) -> None:
+        super().setup()
+        self._apply(0, frozenset())
+
+    def on_schedule_change(self, now: int, gated: frozenset[int]) -> None:
+        self._pending = gated
+        self._stall_until = now + self.cfg.rp_reconfig_latency
+        if now == 0:
+            # initial configuration: nothing in flight, apply immediately
+            self._apply(now, gated)
+            self._pending = None
+            return
+        self.net.injection_frozen = True
+        self.reconfig_count += 1
+        self._reconfig_start = now
+
+    def step(self, now: int) -> None:
+        if self._pending is None:
+            return
+        if now < self._stall_until or not self.net.network_drained():
+            return
+        self._apply(now, self._pending)
+        self._pending = None
+        self.net.injection_frozen = False
+        self.reconfig_log.append((self._reconfig_start, now))
+
+    # -- fabric manager ----------------------------------------------------------
+
+    def choose_parked(self, gated: frozenset[int]) -> frozenset[int]:
+        """Greedy connectivity-preserving parking decision."""
+        cfg = self.cfg
+        all_nodes = frozenset(range(cfg.num_routers))
+        endpoints = (all_nodes - gated) | self.protected
+        if not endpoints:
+            endpoints = frozenset({0})
+        candidates = sorted(gated - self.protected)
+        parked: set[int] = set()
+        policy = cfg.rp_policy
+        if policy == "adaptive":
+            base_avg = average_distance(cfg, all_nodes, endpoints)
+            limit = (1.0 + self.detour_alpha) * base_avg
+        for cand in candidates:
+            trial_on = all_nodes - parked - {cand}
+            if not endpoints <= trial_on:
+                continue
+            adj = mesh_adjacency(cfg, frozenset(trial_on))
+            if not is_connected(adj, endpoints):
+                continue
+            if policy == "adaptive":
+                avg = average_distance(cfg, frozenset(trial_on), endpoints)
+                if avg > limit:
+                    continue
+            parked.add(cand)
+        return frozenset(parked)
+
+    def _apply(self, now: int, gated: frozenset[int]) -> None:
+        cfg = self.cfg
+        new_parked = self.choose_parked(gated)
+        on_nodes = frozenset(range(cfg.num_routers)) - new_parked
+        root = min(on_nodes)
+        self.tables = build_tables(cfg, on_nodes, root)
+        acct = self.net.accountant
+        for node in new_parked - self.parked:
+            r = self.net.routers[node]
+            r.state = PowerState.SLEEP
+            r.bypass_enabled = False
+            acct.note_transition(now, frm="on", to="rp_sleep")
+        for node in self.parked - new_parked:
+            r = self.net.routers[node]
+            r.state = PowerState.ACTIVE
+            r.bypass_enabled = True
+            # network is drained: buffers empty, credit state is pristine
+            for d in r.mesh_ports:
+                r.credits[d] = [cfg.buffer_depth] * cfg.total_vcs
+                r.out_owner[d] = [None] * cfg.total_vcs
+            acct.note_transition(now, frm="rp_sleep", to="on")
+        self.parked = new_parked
+        # queued packets addressed to parked nodes would never have been
+        # generated (their threads migrated away): drop them
+        if new_parked:
+            for r in self.net.routers:
+                r.ni.drop_queued_to(new_parked)
+        # neighbors' PSRs mirror the FM's global view (distributed with
+        # the routing tables during Phase I)
+        for r in self.net.routers:
+            for d in r.mesh_ports:
+                nb = r.neighbor_id(d)
+                r.psr[d] = (PowerState.SLEEP if nb in new_parked
+                            else PowerState.ACTIVE)
+
+    # -- data plane -----------------------------------------------------------
+
+    def route(self, router: "Router", head: Flit, in_dir: Direction,
+              now: int) -> Decision:
+        dest = head.packet.dest
+        table = self.tables.get(router.node)
+        if table is None:
+            raise RuntimeError(f"parked router {router.node} routing a flit")
+        d = table.get(dest)
+        if d is None:
+            # destination currently parked (possible transiently in full
+            # system runs): hold until the next reconfiguration
+            return Hold()
+        return Route(d)
+
+    @property
+    def gateable_routers(self) -> frozenset[int]:
+        return frozenset(range(self.cfg.num_routers)) - self.protected

@@ -1,0 +1,28 @@
+"""YX dimension-order routing — the paper's baseline (Table I).
+
+Routes fully in Y first, then in X. Deterministic and deadlock-free on a
+mesh (dimension-order acyclic channel dependencies).
+"""
+
+from __future__ import annotations
+
+from ..core.routing import Decision, Route
+from ..noc.types import Direction
+
+
+def yx_route(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> Decision:
+    """Next hop under YX routing."""
+    if cur_y != dst_y:
+        return Route(Direction.NORTH if dst_y > cur_y else Direction.SOUTH)
+    if cur_x != dst_x:
+        return Route(Direction.EAST if dst_x > cur_x else Direction.WEST)
+    return Route(Direction.LOCAL)
+
+
+def xy_route(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> Decision:
+    """Next hop under XY routing (provided for ablations)."""
+    if cur_x != dst_x:
+        return Route(Direction.EAST if dst_x > cur_x else Direction.WEST)
+    if cur_y != dst_y:
+        return Route(Direction.NORTH if dst_y > cur_y else Direction.SOUTH)
+    return Route(Direction.LOCAL)

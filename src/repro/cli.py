@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print the Table-I configuration and the power model calibration.
+``synthetic``
+    Run one synthetic-traffic experiment and print its metrics.
+``sweep``
+    Latency/power vs. gated fraction for chosen mechanisms (Fig 6/9
+    style).
+``parsec``
+    Run PARSEC profiles on the full-system CMP (Fig 8c/d style).
+``trace``
+    Record a synthetic workload to a trace file, or replay one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import MECHANISMS, NoCConfig, PowerConfig, table1_config
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mechanism", "-m", default="gflov", choices=MECHANISMS)
+    p.add_argument("--rate", type=float, default=0.02,
+                   help="injection rate, flits/cycle/node")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--gated", type=float, default=0.0,
+                   help="fraction of cores power-gated")
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--measure", type=int, default=None)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from .power.dsent import router_breakdown
+    from .power.overhead import flov_overhead_report
+
+    cfg = table1_config()
+    pcfg = PowerConfig()
+    print("Table I testbed configuration:")
+    print(f"  mesh                {cfg.width}x{cfg.height}")
+    print(f"  buffers             {cfg.buffer_depth} flits/VC")
+    print(f"  VCs                 {cfg.num_vcs} regular + "
+          f"{cfg.escape_vcs} escape per vnet")
+    print(f"  router pipeline     {cfg.router_latency} cycles")
+    print(f"  link                {cfg.link_latency} cycle, "
+          f"{cfg.flit_width_bytes} B")
+    print(f"  wakeup latency      {cfg.wakeup_latency} cycles")
+    print(f"  gating overhead     {pcfg.gating_overhead_j * 1e12:.1f} pJ")
+    bd = router_breakdown(cfg)
+    print("\nDSENT-like power calibration (32 nm, 2 GHz):")
+    print(f"  router static       {bd.baseline_total * 1e3:.2f} mW "
+          f"(buffers {bd.buffers * 1e3:.2f}, xbar {bd.crossbar * 1e3:.2f}, "
+          f"alloc {bd.allocators * 1e3:.2f}, clock {bd.clock_other * 1e3:.2f})")
+    print(f"  FLOV sleep residual {bd.sleep_residual * 1e3:.3f} mW")
+    print("\nFLOV overhead analysis (paper SS V-A):")
+    print(flov_overhead_report(cfg).render())
+    return 0
+
+
+def cmd_synthetic(args: argparse.Namespace) -> int:
+    from .harness import run_synthetic
+
+    r = run_synthetic(args.mechanism, pattern=args.pattern, rate=args.rate,
+                      gated_fraction=args.gated, warmup=args.warmup,
+                      measure=args.measure, seed=args.seed,
+                      width=args.width, height=args.height)
+    print(f"mechanism          {r.mechanism}")
+    print(f"pattern/rate       {r.pattern} @ {r.rate}")
+    print(f"gated fraction     {r.gated_fraction:.0%} "
+          f"({r.sleeping_routers} routers asleep)")
+    print(f"packets measured   {r.packets} ({r.escaped} via escape)")
+    print(f"avg latency        {r.avg_latency:.2f} cycles")
+    b = r.breakdown
+    print(f"  breakdown        router {b.router:.1f} | link {b.link:.1f} | "
+          f"serialization {b.serialization:.1f} | flov {b.flov:.1f} | "
+          f"contention {b.contention:.1f}")
+    print(f"throughput         {r.throughput:.4f} flits/cycle/node")
+    print(f"power              static {r.static_w * 1e3:.1f} mW | "
+          f"dynamic {r.dynamic_w * 1e3:.1f} mW | "
+          f"total {r.total_w * 1e3:.1f} mW")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .harness import series_table, sweep_fractions
+
+    mechs = args.mechanisms.split(",")
+    fracs = [float(f) for f in args.fractions.split(",")]
+    series = sweep_fractions(mechs, fracs, pattern=args.pattern,
+                             rate=args.rate, seed=args.seed,
+                             warmup=args.warmup, measure=args.measure)
+    print(series_table("avg latency (cycles)", series, "avg_latency"))
+    print()
+    print(series_table("static power (mW)", series, "static_w", scale=1e3))
+    print()
+    print(series_table("total power (mW)", series, "total_w", scale=1e3))
+    return 0
+
+
+def cmd_parsec(args: argparse.Namespace) -> int:
+    from .fullsystem import PARSEC, CmpSystem
+
+    benches = args.benchmarks.split(",") if args.benchmarks else list(PARSEC)
+    mechs = args.mechanisms.split(",")
+    print(f"{'benchmark':>14} {'mech':>9} {'runtime':>9} {'static uJ':>10} "
+          f"{'total uJ':>9} {'sleep':>6}")
+    for bench in benches:
+        for mech in mechs:
+            system = CmpSystem(bench, mech,
+                               instructions_per_core=args.instructions,
+                               seed=args.seed)
+            r = system.run(max_cycles=args.max_cycles)
+            flag = "" if r.finished else "  (cycle cap!)"
+            print(f"{bench:>14} {mech:>9} {r.runtime_cycles:9d} "
+                  f"{r.static_j * 1e6:10.2f} {r.total_j * 1e6:9.2f} "
+                  f"{r.sleeping_routers:6d}{flag}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .gating.schedule import StaticGating
+    from .noc.network import Network
+    from .traffic import (TracePlayer, TraceRecorder, TrafficGenerator,
+                          get_pattern, load_trace)
+
+    cfg = NoCConfig(mechanism=args.mechanism, width=args.width,
+                    height=args.height, seed=args.seed)
+    net = Network(cfg)
+    net.set_gating(StaticGating(cfg.num_routers, args.gated, seed=args.seed))
+    if args.replay:
+        with open(args.replay) as fh:
+            trace = load_trace(fh)
+        player = TracePlayer(net, trace)
+        horizon = (trace[-1][0] if trace else 0) + 20_000
+        for _ in range(horizon):
+            player.tick()
+            net.step()
+            if player.exhausted and net.network_drained():
+                break
+        print(f"replayed {player.replayed} packets; "
+              f"avg latency {net.stats.avg_latency:.2f}")
+        return 0
+    rec = TraceRecorder()
+    rec.attach(net)
+    gen = TrafficGenerator(net, get_pattern(args.pattern, cfg), args.rate,
+                           seed=args.seed)
+    gen.run(args.measure or 10_000)
+    with open(args.record, "w") as fh:
+        rec.save(fh)
+    print(f"recorded {len(rec.records)} packets to {args.record}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Fly-Over (FLOV) NoC power-gating reproduction")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print configuration & power calibration")
+
+    p = sub.add_parser("synthetic", help="run one synthetic experiment")
+    _add_common(p)
+
+    p = sub.add_parser("sweep", help="sweep gated fractions (Fig 6/9)")
+    _add_common(p)
+    p.add_argument("--mechanisms", default="baseline,rp,rflov,gflov")
+    p.add_argument("--fractions", default="0.0,0.2,0.4,0.6,0.8")
+
+    p = sub.add_parser("parsec", help="full-system PARSEC runs (Fig 8c/d)")
+    p.add_argument("--benchmarks", default="")
+    p.add_argument("--mechanisms", default="baseline,gflov")
+    p.add_argument("--instructions", type=int, default=600)
+    p.add_argument("--max-cycles", type=int, default=300_000)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("trace", help="record/replay packet traces")
+    _add_common(p)
+    p.add_argument("--record", default="trace.txt",
+                   help="output file when recording")
+    p.add_argument("--replay", default="",
+                   help="trace file to replay instead of recording")
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "synthetic": cmd_synthetic,
+        "sweep": cmd_sweep,
+        "parsec": cmd_parsec,
+        "trace": cmd_trace,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

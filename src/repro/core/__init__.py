@@ -1,0 +1,17 @@
+"""The paper's contribution: FLOV routers, handshakes, dynamic routing.
+
+Heavy submodules are imported lazily to avoid import cycles with the NoC
+substrate (which needs ``repro.core.routing`` at import time).
+"""
+from .power_fsm import PowerState
+from .routing import escape_route, flov_route
+
+__all__ = ["FlovMechanism", "RFlovMechanism", "GFlovMechanism",
+           "PowerState", "flov_route", "escape_route"]
+
+
+def __getattr__(name):
+    if name in ("FlovMechanism", "RFlovMechanism", "GFlovMechanism"):
+        from . import flov
+        return getattr(flov, name)
+    raise AttributeError(name)

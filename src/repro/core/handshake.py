@@ -1,0 +1,652 @@
+"""rFLOV / gFLOV handshake protocols (paper SS IV).
+
+The HandShake Control logic (HSC) of every router is modeled by one
+controller that exchanges timed control messages over the out-of-band
+wires. Messages travel along a row/column at one hop per cycle; sleeping
+routers relay them (and receive a copy, to keep their PSRs and logical
+pointers current).
+
+Protocol summary
+----------------
+
+**Drain** (ACTIVE -> DRAINING -> SLEEP): a router whose core is gated and
+whose local port has been idle for ``idle_threshold`` cycles sends
+``drain`` to its logical neighbors (physical neighbors in rFLOV, where
+the restriction guarantees they are powered). Neighbors stop initiating
+new packets toward it (PSR check in VA), finish in-flight deliveries and
+reply ``drain_done``. Simultaneous drains between handshake partners are
+arbitrated by router id (lower id proceeds). When all drain_dones have
+arrived, its buffers are empty, and the incoming link segments carry no
+flits, the router power-gates: muxes flip to the FLOV path, a ``sleep``
+notification carries its credit snapshot and its beyond-pointer to each
+side so upstream routers re-point their logical PSRs and adopt the
+credit counts of the new logical downstream.
+
+**Wakeup** (SLEEP -> WAKEUP -> ACTIVE): triggered by the core waking or by
+a ``wake_req`` from a router holding a packet destined to the sleeping
+router. The waking router signals ``wakeup`` to its logical neighbors
+(who stop new transmissions through it and reply ``drain_done``), drains
+its latches (waits for the adjacent segments to clear of flits in both
+directions), then powers on for ``wakeup_latency`` cycles and broadcasts
+``awake``: upstream credit counters reset to full, its own counters
+re-sync from the (logical) downstream buffers, and logical pointers
+splice it back in.
+
+Forbidden combinations between logical neighbors — Draining-Draining
+(id-arbitrated) and Draining-Wakeup (wakeup wins; the draining router
+aborts) — are enforced in the message handlers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..noc.types import DIR_DELTA, OPPOSITE, Direction
+from .power_fsm import PowerState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..noc.network import Network
+    from ..noc.router import Router
+
+
+@dataclass(frozen=True)
+class Msg:
+    kind: str                 # drain|drain_abort|drain_done|sleep|wakeup|awake|wake_req
+    src: int                  # sender node id
+    direction: Direction | None = None   # travel direction from src
+    payload: tuple = ()
+
+
+@dataclass
+class DrainProgress:
+    started: int
+    token: int = 0
+    pending: set[int] = field(default_factory=set)
+
+
+@dataclass
+class WakeProgress:
+    started: int
+    token: int = 0
+    pending: set[int] = field(default_factory=set)
+    timer_end: int | None = None
+
+
+class HandshakeController:
+    """Distributed HSC engine shared by rFLOV and gFLOV."""
+
+    def __init__(self, net: "Network", *, generalized: bool) -> None:
+        self.net = net
+        self.cfg = net.cfg
+        self.generalized = generalized
+        self._heap: list[tuple[int, int, int, Msg]] = []
+        self._seq = 0
+        #: handshake-attempt token: acks echo it so a retry can never be
+        #: satisfied by stale replies to an aborted earlier attempt
+        self._token = 0
+        self._drainers: dict[int, DrainProgress] = {}
+        self._wakers: dict[int, WakeProgress] = {}
+        #: (observer, requester) -> (direction, kind, attempt token)
+        self._obligations: dict[tuple[int, int],
+                                tuple[Direction, str, int]] = {}
+        self._wake_req_sent: dict[int, int] = {}
+        #: nodes that should wake -> earliest cycle to (re)try
+        self._want_wake: dict[int, int] = {}
+        #: failed-drain backoff: node -> earliest cycle to retry
+        self._drain_backoff: dict[int, int] = {}
+        self.gated_cores: frozenset[int] = frozenset()
+        self.aon_nodes = frozenset(
+            net.cfg.node_id(net.cfg.resolved_aon_column, y)
+            for y in range(net.cfg.height))
+        #: extra nodes that must never be gated (e.g. memory controllers)
+        self.protected: frozenset[int] = frozenset()
+        #: watchdog: abort drains stuck longer than this
+        self.drain_watchdog = 5 * max(net.cfg.idle_threshold, 1)
+        #: resend interval for wake requests
+        self.wake_req_interval = 32
+        #: abort a wakeup handshake stuck longer than this and retry later
+        self.wake_watchdog = 1500
+
+    # ------------------------------------------------------------------ utils
+
+    def _router(self, node: int) -> "Router":
+        return self.net.routers[node]
+
+    def _send(self, now: int, src: int, dst: int, msg: Msg) -> None:
+        """Schedule delivery of ``msg`` to ``dst``: 1 cycle per hop."""
+        sx, sy = self.cfg.node_xy(src)
+        dx, dy = self.cfg.node_xy(dst)
+        hops = abs(dx - sx) + abs(dy - sy)
+        self._seq += 1
+        heapq.heappush(self._heap, (now + max(hops, 1), self._seq, dst, msg))
+        self.net.accountant.on_handshake(hops)
+
+    def _send_along(self, now: int, src: int, d: Direction, msg: Msg,
+                    *, until: int | None) -> None:
+        """Deliver ``msg`` to every router from ``src`` (exclusive) along
+        direction ``d`` up to ``until`` (inclusive); relays get copies so
+        their PSR/pointer caches stay fresh."""
+        if until is None:
+            return
+        cfg = self.cfg
+        ddx, ddy = DIR_DELTA[d]
+        x, y = cfg.node_xy(src)
+        while True:
+            x += ddx
+            y += ddy
+            if not (0 <= x < cfg.width and 0 <= y < cfg.height):
+                break
+            node = cfg.node_id(x, y)
+            self._send(now, src, node, msg)
+            if node == until:
+                break
+
+    # -------------------------------------------------------------- main loop
+
+    def step(self, now: int) -> None:
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, dst, msg = heapq.heappop(heap)
+            self._handle(now, dst, msg)
+        self._check_observers(now)
+        self._check_drainers(now)
+        self._check_wakers(now)
+        self._try_wakeups(now)
+        self._try_new_drains(now)
+
+    def on_schedule_change(self, now: int, gated: frozenset[int]) -> None:
+        woken = self.gated_cores - gated
+        self.gated_cores = gated
+        for node in woken:
+            r = self._router(node)
+            if r.state == PowerState.DRAINING:
+                self._abort_drain(r, now)
+            elif r.state == PowerState.SLEEP:
+                self._want_wake.setdefault(node, now)
+        self._try_wakeups(now)
+
+    def request_wakeup(self, requester: "Router", target: int, now: int) -> None:
+        last = self._wake_req_sent.get(target, -10**9)
+        if now - last < self.wake_req_interval:
+            return
+        self._wake_req_sent[target] = now
+        self._send(now, requester.node, target, Msg("wake_req", requester.node))
+
+    # ---------------------------------------------------------- drain attempt
+
+    def _may_drain(self, r: "Router", now: int) -> bool:
+        if r.state != PowerState.ACTIVE:
+            return False
+        if now < self._drain_backoff.get(r.node, 0):
+            return False
+        if r.node in self.aon_nodes or r.node in self.protected:
+            return False
+        if r.node not in self.gated_cores:
+            return False
+        if now - r.last_local_activity < self.cfg.idle_threshold:
+            return False
+        if r.ni.pending_flits:
+            return False
+        if not self.generalized:
+            # rFLOV: no physical neighbor may be draining or power-gated.
+            return all(r.psr[d] == PowerState.ACTIVE for d in r.mesh_ports)
+        # gFLOV: physical neighbors may sleep, but no handshake partner may
+        # be mid-transition (Draining-Draining / Draining-Wakeup forbidden).
+        for d in r.mesh_ports:
+            if r.psr[d] in (PowerState.DRAINING, PowerState.WAKEUP):
+                return False
+            if r.logical_psr[d] in (PowerState.DRAINING, PowerState.WAKEUP):
+                return False
+        return True
+
+    def _try_new_drains(self, now: int) -> None:
+        for node in self.gated_cores:
+            r = self._router(node)
+            if self._may_drain(r, now):
+                self._start_drain(r, now)
+
+    def _start_drain(self, r: "Router", now: int) -> None:
+        r.state = PowerState.DRAINING
+        self._token += 1
+        prog = DrainProgress(started=now, token=self._token)
+        for d in r.mesh_ports:
+            partner = r.logical[d]
+            if partner is None:
+                continue
+            prog.pending.add(partner)
+            self._send(now, r.node, partner,
+                       Msg("drain", r.node, direction=d,
+                           payload=(prog.token,)))
+        self._drainers[r.node] = prog
+        if not prog.pending:  # fully isolated line (can't happen on a mesh)
+            self._commit_sleep(r, now)
+
+    def _abort_drain(self, r: "Router", now: int) -> None:
+        prog = self._drainers.pop(r.node, None)
+        r.state = PowerState.ACTIVE
+        if prog is None:
+            return
+        for d in r.mesh_ports:
+            partner = r.logical[d]
+            if partner is not None:
+                self._send(now, r.node, partner, Msg("drain_abort", r.node))
+
+    def _check_drainers(self, now: int) -> None:
+        for node in list(self._drainers):
+            r = self._router(node)
+            prog = self._drainers[node]
+            if node not in self.gated_cores or r.ni.pending_flits:
+                self._abort_drain(r, now)
+                continue
+            if now - prog.started > self.drain_watchdog:
+                # A drain that cannot finish is blocking a whole row/column;
+                # abort and back off so the congestion can dissipate before
+                # the next attempt (otherwise failed drains churn forever).
+                self._abort_drain(r, now)
+                self._drain_backoff[r.node] = (
+                    now + 4 * self.drain_watchdog + (r.node * 53) % 512)
+                continue
+            self._drop_gated_partners(prog)
+            if prog.pending or not r.buffers_empty():
+                continue
+            if not self._incoming_segments_clear(r):
+                continue
+            self._drainers.pop(node)
+            self._commit_sleep(r, now)
+
+    def _incoming_segments_clear(self, r: "Router") -> bool:
+        for d in r.mesh_ports:
+            src = r.logical[d]
+            if src is None:
+                src = self._edge_node(r, d)
+                if src is None:
+                    continue
+            if not self.net.segment_has_no_flits(src, r.node):
+                return False
+        return True
+
+    def _edge_node(self, r: "Router", d: Direction) -> int | None:
+        """Farthest node along ``d`` (whole line asleep); None if adjacent
+        to the mesh edge."""
+        cfg = self.cfg
+        ddx, ddy = DIR_DELTA[d]
+        x, y = r.x + ddx, r.y + ddy
+        last = None
+        while 0 <= x < cfg.width and 0 <= y < cfg.height:
+            last = cfg.node_id(x, y)
+            x += ddx
+            y += ddy
+        return last
+
+    def _commit_sleep(self, r: "Router", now: int) -> None:
+        if not r.buffers_empty():
+            raise RuntimeError("sleep commit with occupied buffers")
+        r.state = PowerState.SLEEP
+        self.net.accountant.note_transition(now, frm="on", to="flov_sleep")
+        zeros = (0,) * self.cfg.total_vcs
+        for side in r.mesh_ports:
+            # recipients on ``side`` need to know what now lies beyond us on
+            # the *opposite* side (their new logical downstream that way)
+            d = OPPOSITE[side]
+            if d in r.logical:
+                beyond = r.logical[d]
+                beyond_state = (self._router(beyond).state
+                                if beyond is not None else None)
+                snapshot = tuple(r.credits[d])
+            else:  # we sit on the mesh edge: nothing beyond
+                beyond, beyond_state, snapshot = None, None, zeros
+            msg = Msg("sleep", r.node, direction=d,
+                      payload=(beyond, beyond_state, snapshot))
+            until = r.logical.get(side)
+            if until is None:
+                until = self._edge_node(r, side)
+            self._send_along(now, r.node, side, msg, until=until)
+
+    # ---------------------------------------------------------------- wakeup
+
+    def _try_wakeups(self, now: int) -> None:
+        for node, earliest in list(self._want_wake.items()):
+            r = self._router(node)
+            if r.state == PowerState.ACTIVE:
+                del self._want_wake[node]
+            elif r.state == PowerState.SLEEP and now >= earliest:
+                self._start_wakeup(r, now)
+
+    def _start_wakeup(self, r: "Router", now: int) -> None:
+        if r.state != PowerState.SLEEP or r.node in self._wakers:
+            return
+        r.state = PowerState.WAKEUP
+        self._token += 1
+        prog = WakeProgress(started=now, token=self._token)
+        for d in r.mesh_ports:
+            partner = r.logical[d]
+            if partner is None:
+                continue
+            prog.pending.add(partner)
+            msg = Msg("wakeup", r.node, direction=OPPOSITE[d],
+                      payload=(partner, prog.token))
+            self._send_along(now, r.node, d, msg, until=partner)
+        self._wakers[r.node] = prog
+        if not prog.pending:
+            prog.timer_end = now + self.cfg.wakeup_latency
+
+    def _check_wakers(self, now: int) -> None:
+        for node in list(self._wakers):
+            r = self._router(node)
+            prog = self._wakers[node]
+            if prog.timer_end is not None:
+                if now >= prog.timer_end:
+                    self._wakers.pop(node)
+                    self._commit_active(r, now)
+                continue
+            if now - prog.started > self.wake_watchdog:
+                # Cannot complete (observers' in-flight deliveries depend on
+                # congested regions): release everyone and retry later, so
+                # the escape sub-network can drain the congestion.
+                self._abort_wakeup(r, now)
+                continue
+            self._drop_gated_partners(prog)
+            if prog.pending:
+                continue
+            if not self._adjacent_segments_clear(r):
+                continue
+            prog.timer_end = now + self.cfg.wakeup_latency
+
+    def _drop_gated_partners(self, prog: DrainProgress | WakeProgress) -> None:
+        """Safety net for crossing-message races: a handshake partner that
+        is itself power-gated has nothing in flight — its (possibly lost)
+        drain_done is implied. The segment-clear checks remain the backstop
+        for any flits it launched before gating."""
+        if not prog.pending:
+            return
+        gone = [p for p in prog.pending if not self._router(p).powered]
+        for p in gone:
+            prog.pending.discard(p)
+
+    def _adjacent_segments_clear(self, r: "Router") -> bool:
+        """No flits between r and its logical neighbors, either direction."""
+        for d in r.mesh_ports:
+            partner = r.logical[d]
+            if partner is None:
+                partner = self._edge_node(r, d)
+                if partner is None:
+                    continue
+            if not self.net.segment_has_no_flits(partner, r.node):
+                return False
+            if not self.net.segment_has_no_flits(r.node, partner):
+                return False
+        return True
+
+    def _abort_wakeup(self, r: "Router", now: int) -> None:
+        self._wakers.pop(r.node, None)
+        r.state = PowerState.SLEEP
+        for side in r.mesh_ports:
+            d = OPPOSITE[side]
+            beyond = r.logical.get(d)
+            beyond_state = (self._router(beyond).state
+                            if beyond is not None else None)
+            msg = Msg("wake_abort", r.node, direction=d,
+                      payload=(beyond, beyond_state))
+            until = r.logical.get(side)
+            if until is None:
+                until = self._edge_node(r, side)
+            self._send_along(now, r.node, side, msg, until=until)
+        jitter = (r.node * 37) % 256
+        self._want_wake[r.node] = now + 200 + jitter
+
+    def _commit_active(self, r: "Router", now: int) -> None:
+        r.state = PowerState.ACTIVE
+        # restart the idle window: the paper's drain condition is "no local
+        # traffic for idle_threshold cycles" — without this, a router woken
+        # for a pending delivery re-drains before the packet can arrive
+        r.last_local_activity = now
+        self.net.accountant.note_transition(now, frm="flov_sleep", to="on")
+        cfg = self.cfg
+        for d in r.mesh_ports:
+            r.out_owner[d] = [None] * cfg.total_vcs
+        for d in r.mesh_ports:
+            partner = r.logical[d]
+            if partner is not None and self._router(partner).powered:
+                down = self._router(partner).ivc[OPPOSITE[d]]
+                r.credits[d] = [down[v].free_slots for v in range(cfg.total_vcs)]
+                # stale relayed credits between us and the downstream are
+                # superseded by the snapshot we just took
+                self.net.purge_credits_between(partner, r.node)
+            else:
+                r.credits[d] = [0] * cfg.total_vcs
+            until = partner if partner is not None else self._edge_node(r, d)
+            # Pre-own our straight-through output VCs for wormholes our
+            # partner paused mid-packet (the drain_done handshake carries
+            # the partner's busy-VC mask): their resumed body flits will
+            # continue through us on the same VC, and VA must not hand
+            # that output VC to anyone else meanwhile. Packets the partner
+            # allocated but never started streaming are excluded — their
+            # heads will be routed here afresh.
+            if partner is not None:
+                p_router = self._router(partner)
+                od = OPPOSITE[d]
+                if p_router.powered and od in p_router.out_owner:
+                    for vc, owner in enumerate(p_router.out_owner[od]):
+                        if owner is None or od not in r.out_owner:
+                            continue
+                        p_ivc = p_router.ivc[owner[0]][owner[1]]
+                        front = p_ivc.front
+                        if front is not None and front.is_head:
+                            continue  # nothing streamed yet
+                        r.out_owner[od][vc] = (d, vc)
+            self._send_along(now, r.node, d,
+                             Msg("awake", r.node, direction=OPPOSITE[d]),
+                             until=until)
+        self._wake_req_sent.pop(r.node, None)
+
+    # ------------------------------------------------------------- observers
+
+    def _check_observers(self, now: int) -> None:
+        done: list[tuple[int, int]] = []
+        for (observer, requester), (d, kind, _tok) in self._obligations.items():
+            o = self._router(observer)
+            if o.powered:
+                if kind == "drain" and o.in_flight_toward(d):
+                    continue
+                ch = o.out_flit.get(d)
+                if ch is not None and len(ch):
+                    continue
+            done.append((observer, requester))
+        for key in done:
+            observer, requester = key
+            _d, _kind, token = self._obligations.pop(key)
+            self._send(now, observer, requester,
+                       Msg("drain_done", observer, payload=(token,)))
+
+    # ---------------------------------------------------------------- handlers
+
+    def _handle(self, now: int, dst: int, msg: Msg) -> None:
+        r = self._router(dst)
+        handler = getattr(self, f"_on_{msg.kind}")
+        handler(now, r, msg)
+
+    def _dir_toward(self, r: "Router", node: int) -> Direction | None:
+        for d in r.mesh_ports:
+            if r.distance_along(d, node) is not None:
+                return d
+        return None
+
+    def _nearer(self, r: "Router", d: Direction, a: int, b: int | None) -> bool:
+        """Is node ``a`` strictly nearer to ``r`` along ``d`` than ``b``?"""
+        if b is None:
+            return True
+        da = r.distance_along(d, a)
+        db = r.distance_along(d, b)
+        return da is not None and (db is None or da < db)
+
+    def _set_psr(self, r: "Router", src: int, state: PowerState | None) -> None:
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        if r.neighbor_id(d) == src and state is not None:
+            r.psr[d] = state
+
+    def _on_drain(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        token = msg.payload[0] if msg.payload else 0
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        self._set_psr(r, src, PowerState.DRAINING)
+        if r.logical[d] == src:
+            r.logical_psr[d] = PowerState.DRAINING
+        if r.state == PowerState.DRAINING:
+            # Draining-Draining between partners: lower id proceeds.
+            if r.node > src:
+                self._abort_drain(r, now)
+                self._obligations[(r.node, src)] = (d, "drain", token)
+            # else: src will abort when our drain message reaches it.
+            return
+        if r.state == PowerState.WAKEUP:
+            # Draining-Wakeup is forbidden; wakeup wins — do not ack: the
+            # drainer aborts when our (already sent) wakeup reaches it.
+            return
+        if r.state == PowerState.SLEEP:
+            # Stale handshake (we slept before the message landed); we have
+            # nothing in flight.
+            self._send(now, r.node, src,
+                       Msg("drain_done", r.node, payload=(token,)))
+            return
+        self._obligations[(r.node, src)] = (d, "drain", token)
+
+    def _on_drain_abort(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        self._set_psr(r, src, PowerState.ACTIVE)
+        d = self._dir_toward(r, src)
+        if d is not None and r.logical[d] == src:
+            r.logical_psr[d] = PowerState.ACTIVE
+        self._obligations.pop((r.node, src), None)
+
+    def _on_drain_done(self, now: int, r: "Router", msg: Msg) -> None:
+        prog = self._drainers.get(r.node) or self._wakers.get(r.node)
+        if prog is None:
+            return
+        token = msg.payload[0] if msg.payload else prog.token
+        if token != prog.token:
+            return  # stale ack for an aborted earlier attempt
+        prog.pending.discard(msg.src)
+
+    def _on_sleep(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        beyond, beyond_state, snapshot = msg.payload
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        self._set_psr(r, src, PowerState.SLEEP)
+        cur = r.logical.get(d)
+        if cur is not None and cur != src and self._nearer(r, d, cur, src):
+            # a nearer router is our pointer; this farther sleep does not
+            # change who our logical neighbor is
+            return
+        # splice the logical pointer past the sleeping router
+        r.logical[d] = beyond
+        r.logical_psr[d] = (beyond_state if beyond_state is not None
+                            else PowerState.ACTIVE)
+        if r.powered and r.logical[d] != src:
+            # we are the (new) logical upstream: adopt the sleeper's credit
+            # view of the new downstream
+            if beyond is not None:
+                r.credits[d] = list(snapshot)
+            else:
+                r.credits[d] = [0] * self.cfg.total_vcs
+        wake = self._wakers.get(r.node)
+        if wake is not None and src in wake.pending:
+            # our handshake partner power-gated before our wakeup reached
+            # it: re-target the handshake at the router beyond it
+            wake.pending.discard(src)
+            if beyond is not None:
+                wake.pending.add(beyond)
+                self._send_along(now, r.node, d,
+                                 Msg("wakeup", r.node, direction=OPPOSITE[d],
+                                     payload=(beyond, wake.token)),
+                                 until=beyond)
+        drain = self._drainers.get(r.node)
+        if drain is not None and src in drain.pending:
+            # same re-targeting for an in-progress drain handshake
+            drain.pending.discard(src)
+            if beyond is not None:
+                drain.pending.add(beyond)
+                self._send(now, r.node, beyond,
+                           Msg("drain", r.node, direction=d,
+                               payload=(drain.token,)))
+
+    def _on_wakeup(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        self._set_psr(r, src, PowerState.WAKEUP)
+        cur = r.logical.get(d)
+        if cur is None or cur == src or self._nearer(r, d, src, cur):
+            # src is now the nearest (about-to-be-powered) router toward d
+            r.logical[d] = src
+            r.logical_psr[d] = PowerState.WAKEUP
+        token = msg.payload[1] if len(msg.payload) > 1 else 0
+        if not r.powered:
+            # Relay copies just refresh pointers — but if we are the
+            # addressed handshake partner (we power-gated while the message
+            # crossed our own sleep commit), acknowledge: a gated router has
+            # nothing in flight. Wakeup-Wakeup partners ack each other too.
+            target = msg.payload[0] if msg.payload else None
+            if target == r.node:
+                self._send(now, r.node, src,
+                           Msg("drain_done", r.node, payload=(token,)))
+            return
+        if r.state == PowerState.DRAINING:
+            self._abort_drain(r, now)
+        r.pause(d, src)
+        self._obligations[(r.node, src)] = (d, "wake", token)
+
+    def _on_awake(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        self._set_psr(r, src, PowerState.ACTIVE)
+        r.unpause(d, src)
+        cur = r.logical.get(d)
+        if not (cur is None or cur == src or self._nearer(r, d, src, cur)):
+            # stale awake from a farther router: a nearer one owns the
+            # pointer (and will send its own awake/sleep in due course)
+            return
+        r.logical[d] = src
+        r.logical_psr[d] = PowerState.ACTIVE
+        # src is now the nearest powered router toward d: anything we send
+        # stops there, so silence owed to any farther waker transfers to
+        # src's own handshake — clear every pause in this direction
+        r.paused.pop(d, None)
+        if r.powered:
+            # fresh downstream buffers: full credit; out_owner entries are
+            # deliberately preserved — they are our own paused mid-packet
+            # wormholes, now resuming toward the awakened router
+            r.credits[d] = [self.cfg.buffer_depth] * self.cfg.total_vcs
+
+    def _on_wake_abort(self, now: int, r: "Router", msg: Msg) -> None:
+        src = msg.src
+        beyond, beyond_state = msg.payload
+        d = self._dir_toward(r, src)
+        if d is None:
+            return
+        self._set_psr(r, src, PowerState.SLEEP)
+        self._obligations.pop((r.node, src), None)
+        r.unpause(d, src)
+        cur = r.logical.get(d)
+        if cur is not None and cur != src and self._nearer(r, d, cur, src):
+            return
+        r.logical[d] = beyond
+        r.logical_psr[d] = (beyond_state if beyond_state is not None
+                            else PowerState.ACTIVE)
+
+    def _on_wake_req(self, now: int, r: "Router", msg: Msg) -> None:
+        if r.state == PowerState.SLEEP:
+            self._want_wake.setdefault(r.node, now)
+            self._try_wakeups(now)
+        elif r.state == PowerState.DRAINING:
+            self._abort_drain(r, now)

@@ -1,0 +1,7 @@
+"""Full-system CMP substrate: cores, MESI caches, MCs, PARSEC profiles."""
+from .address import AddressMap, corner_nodes
+from .system import CmpSystem, FullSystemResult
+from .workloads import PARSEC, WorkloadProfile, get_workload
+
+__all__ = ["CmpSystem", "FullSystemResult", "AddressMap", "corner_nodes",
+           "PARSEC", "WorkloadProfile", "get_workload"]

@@ -1,0 +1,54 @@
+"""Address-to-home mapping for the distributed shared L2 and the memory
+controllers (Table I: 4 MCs at the 4 corners).
+
+Two home-bank policies:
+
+* ``interleave_all`` — gem5/Ruby default: cache lines interleave across
+  every node's L2 bank. Under thread consolidation this defeats router
+  power-gating (every bank keeps receiving traffic).
+* ``active_only`` — consolidation-aware placement: lines interleave only
+  across nodes whose cores are active (plus the MC corners). This is the
+  policy the paper's full-system savings implicitly rely on (gated nodes
+  see no L2 traffic, so their routers can stay asleep).
+"""
+
+from __future__ import annotations
+
+from ..config import NoCConfig, SystemConfig
+
+
+def corner_nodes(cfg: NoCConfig) -> tuple[int, ...]:
+    """The four mesh corners (memory controller attach points)."""
+    return (cfg.node_id(0, 0),
+            cfg.node_id(cfg.width - 1, 0),
+            cfg.node_id(0, cfg.height - 1),
+            cfg.node_id(cfg.width - 1, cfg.height - 1))
+
+
+def _mix(line: int) -> int:
+    """Cheap deterministic hash so home banks are evenly loaded."""
+    h = line * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+    return h >> 16
+
+
+class AddressMap:
+    """Maps cache-line ids to home L2 banks and memory controllers."""
+
+    def __init__(self, cfg: NoCConfig, sys_cfg: SystemConfig,
+                 active_nodes: list[int] | None = None) -> None:
+        self.cfg = cfg
+        self.sys_cfg = sys_cfg
+        self.mcs = corner_nodes(cfg)
+        if sys_cfg.home_mapping == "interleave_all" or not active_nodes:
+            self.banks: tuple[int, ...] = tuple(range(cfg.num_routers))
+        else:
+            banks = sorted(set(active_nodes) | set(self.mcs))
+            self.banks = tuple(banks)
+
+    def home_of(self, line: int) -> int:
+        """Node holding the L2 bank / directory slice for ``line``."""
+        return self.banks[_mix(line) % len(self.banks)]
+
+    def mc_of(self, line: int) -> int:
+        """Memory controller node backing ``line``."""
+        return self.mcs[(_mix(line) >> 8) % len(self.mcs)]

@@ -1,0 +1,252 @@
+"""Trace-synthesis cores and their L1 cache controllers.
+
+A core is a blocking in-order instruction stream: each cycle it either
+retires one non-memory instruction or issues one memory access drawn
+from its workload profile. L1 hits retire immediately; misses block the
+core until the MESI transaction completes. This is the standard
+gem5-"simple CPU" abstraction — enough to produce the coherence traffic
+and idle phases the NoC mechanisms react to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from .cache import SetAssocCache
+from .mesi import CoherenceMsg, Kind, L1State
+from .workloads import WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import CmpSystem
+
+
+class L1Controller:
+    """Per-node L1 data cache + MESI cache-side protocol engine."""
+
+    def __init__(self, system: "CmpSystem", node: int) -> None:
+        self.system = system
+        self.node = node
+        sys_cfg = system.sys_cfg
+        self.cache: SetAssocCache[L1State] = SetAssocCache(
+            sys_cfg.l1_size_bytes, sys_cfg.l1_assoc, sys_cfg.line_bytes)
+        #: line -> in-flight miss bookkeeping
+        self.mshr: dict[int, dict] = {}
+        #: lines evicted dirty, awaiting WB_ACK
+        self.wb_pending: set[int] = set()
+        #: forwards/invalidations deferred while the line is in transit
+        self.deferred: dict[int, list[CoherenceMsg]] = {}
+        self.on_complete = None  # callback(line) when a miss finishes
+        self.stats = {"hits": 0, "misses": 0, "upgrades": 0, "evictions": 0,
+                      "fwds": 0, "invs": 0}
+
+    # -- core-facing ---------------------------------------------------------
+
+    def access(self, line: int, is_write: bool) -> bool:
+        """Try a load/store; True on hit, False when the core must block."""
+        st = self.cache.get(line)
+        if not is_write:
+            if st in (L1State.S, L1State.E, L1State.M):
+                self.stats["hits"] += 1
+                return True
+            self._miss(line, Kind.GETS, L1State.IS_D, "load")
+            return False
+        if st in (L1State.E, L1State.M):
+            self.cache.update(line, L1State.M)
+            self.stats["hits"] += 1
+            return True
+        if st == L1State.S:
+            self.stats["upgrades"] += 1
+            self.cache.update(line, L1State.SM_AD)
+            self.mshr[line] = {"op": "store", "need": None, "acks": 0,
+                               "data": False}
+            self._request(Kind.GETM, line)
+            return False
+        self._miss(line, Kind.GETM, L1State.IM_AD, "store")
+        return False
+
+    def _miss(self, line: int, req: Kind, transient: L1State, op: str) -> None:
+        self.stats["misses"] += 1
+        self.mshr[line] = {"op": op, "need": None, "acks": 0, "data": False}
+        victim = self.cache.put(line, transient)
+        if victim is not None:
+            vline, vstate = victim
+            self._evict(vline, vstate)
+        self._request(req, line)
+
+    def _evict(self, line: int, state: L1State) -> None:
+        self.stats["evictions"] += 1
+        if state in (L1State.M, L1State.E):
+            # dirty (or potentially dirty) line: write back and wait
+            self.wb_pending.add(line)
+            self.system.send(
+                CoherenceMsg(Kind.PUTM, line, self.node, requester=self.node),
+                self.system.amap.home_of(line))
+        elif state not in (L1State.S, L1State.I):
+            raise RuntimeError(f"evicting line in transient state {state}")
+        # S lines drop silently (MESI allows it; stale INVs are acked)
+
+    def _request(self, kind: Kind, line: int) -> None:
+        self.system.send(
+            CoherenceMsg(kind, line, self.node, requester=self.node),
+            self.system.amap.home_of(line))
+
+    # -- network-facing --------------------------------------------------------
+
+    def receive(self, msg: CoherenceMsg) -> None:
+        kind = msg.kind
+        if kind in (Kind.DATA, Kind.DATA_E, Kind.DATA_M):
+            self._on_data(msg)
+        elif kind == Kind.ACK:
+            self._on_ack(msg)
+        elif kind == Kind.WB_ACK:
+            self.wb_pending.discard(msg.line)
+        elif kind in (Kind.FWD_GETS, Kind.FWD_GETM, Kind.INV):
+            st = self.cache.get(msg.line, touch=False)
+            if st in (L1State.IS_D, L1State.IM_AD, L1State.SM_AD):
+                if kind == Kind.INV and st in (L1State.IS_D,):
+                    # INV for the old copy we no longer have: ack directly
+                    self._ack_inv(msg)
+                    return
+                self.deferred.setdefault(msg.line, []).append(msg)
+            else:
+                self._on_fwd(msg)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"L1 got {kind}")
+
+    def _on_data(self, msg: CoherenceMsg) -> None:
+        line = msg.line
+        entry = self.mshr.get(line)
+        if entry is None:
+            raise RuntimeError(f"unexpected data for line {line:#x}")
+        if msg.kind == Kind.DATA:
+            self.cache.update(line, L1State.S)
+            self._complete(line)
+        elif msg.kind == Kind.DATA_E:
+            state = L1State.M if entry["op"] == "store" else L1State.E
+            self.cache.update(line, state)
+            self._complete(line)
+        else:  # DATA_M
+            entry["data"] = True
+            entry["need"] = msg.acks
+            self._check_store_done(line, entry)
+
+    def _on_ack(self, msg: CoherenceMsg) -> None:
+        entry = self.mshr.get(msg.line)
+        if entry is None:
+            return  # ack raced past completion; harmless
+        entry["acks"] += 1
+        self._check_store_done(msg.line, entry)
+
+    def _check_store_done(self, line: int, entry: dict) -> None:
+        if entry["data"] and entry["acks"] >= (entry["need"] or 0):
+            self.cache.update(line, L1State.M)
+            self._complete(line)
+
+    def _complete(self, line: int) -> None:
+        del self.mshr[line]
+        if self.on_complete is not None:
+            self.on_complete(line)
+        for msg in self.deferred.pop(line, []):
+            self._on_fwd(msg)
+
+    def _ack_inv(self, msg: CoherenceMsg) -> None:
+        self.system.send(
+            CoherenceMsg(Kind.ACK, msg.line, self.node),
+            msg.requester)
+
+    def _on_fwd(self, msg: CoherenceMsg) -> None:
+        line = msg.line
+        st = self.cache.get(line, touch=False)
+        home = self.system.amap.home_of(line)
+        if msg.kind == Kind.INV:
+            self.stats["invs"] += 1
+            if st in (L1State.S, L1State.M, L1State.E):
+                self.cache.evict(line)
+            self._ack_inv(msg)
+            return
+        self.stats["fwds"] += 1
+        in_wb = line in self.wb_pending
+        if st not in (L1State.M, L1State.E) and not in_wb:
+            # stale forward after our copy left; the blocking directory
+            # makes this unreachable, keep it loud
+            raise RuntimeError(f"forward for line {line:#x} not owned")
+        if msg.kind == Kind.FWD_GETS:
+            self.system.send(
+                CoherenceMsg(Kind.DATA, line, self.node), msg.requester)
+            self.system.send(
+                CoherenceMsg(Kind.WB_DATA, line, self.node), home)
+            if st in (L1State.M, L1State.E):
+                self.cache.update(line, L1State.S)
+        else:  # FWD_GETM
+            self.system.send(
+                CoherenceMsg(Kind.DATA_M, line, self.node, acks=0),
+                msg.requester)
+            self.system.send(
+                CoherenceMsg(Kind.XFER_ACK, line, self.node,
+                             requester=msg.requester),
+                home)
+            if st in (L1State.M, L1State.E):
+                self.cache.evict(line)
+
+
+class Core:
+    """Blocking in-order synthetic-instruction core."""
+
+    def __init__(self, system: "CmpSystem", node: int,
+                 profile: WorkloadProfile, *, active: bool,
+                 target_instructions: int, seed: int) -> None:
+        self.system = system
+        self.node = node
+        self.profile = profile
+        self.active = active
+        self.target = target_instructions if active else 0
+        self.instructions = 0
+        self.blocked_on: int | None = None
+        self.finish_cycle: int | None = None if active else 0
+        self.rng = random.Random(seed * 1000003 + node)
+        self.l1 = L1Controller(system, node)
+        self.l1.on_complete = self._miss_done
+
+    @property
+    def done(self) -> bool:
+        return self.finish_cycle is not None
+
+    def _miss_done(self, line: int) -> None:
+        if self.blocked_on == line:
+            self.blocked_on = None
+            self._retire()
+
+    def _retire(self) -> None:
+        self.instructions += 1
+        if self.instructions >= self.target and self.finish_cycle is None:
+            # phase barrier or personal finish line (the system raises
+            # ``target`` and clears ``finish_cycle`` at phase advances)
+            self.finish_cycle = self.system.net.cycle
+
+    def _pick_line(self) -> int:
+        """Draw an address with 80/20-style temporal locality: most
+        accesses hit a hot subset (an eighth of the region)."""
+        p = self.profile
+        rng = self.rng
+        if rng.random() < p.sharing:
+            base, span = p.shared_base, p.shared_lines
+        else:
+            base, span = p.private_base(self.node), p.private_lines
+        if rng.random() < 0.8:
+            span = max(span // 8, 1)
+        return base + rng.randrange(span)
+
+    def step(self, now: int) -> None:
+        if not self.active or self.done or self.blocked_on is not None:
+            return
+        p = self.profile
+        if self.rng.random() < p.mem_ratio:
+            line = self._pick_line()
+            is_write = self.rng.random() < p.write_ratio
+            if self.l1.access(line, is_write):
+                self._retire()
+            else:
+                self.blocked_on = line
+        else:
+            self._retire()

@@ -1,0 +1,241 @@
+"""L2 bank + directory slice and memory controller protocol engines.
+
+Each node hosts one L2 bank with a directory slice (MESI, blocking
+directory: one transaction in flight per line, later requests queue).
+The four corner nodes additionally host memory controllers.
+
+Simplifications vs. a full Ruby protocol (documented in DESIGN.md):
+
+* The directory state store is unbounded (no recall transactions); the
+  L2 *data array* is finite and LRU-managed — losing clean data merely
+  causes a memory refetch.
+* Memory controllers have unlimited bandwidth and a fixed latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .cache import SetAssocCache
+from .mesi import CoherenceMsg, DirEntry, DirState, Kind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import CmpSystem
+
+
+class DirectoryController:
+    """Home node protocol engine: L2 bank + directory slice."""
+
+    def __init__(self, system: "CmpSystem", node: int) -> None:
+        self.system = system
+        self.node = node
+        sys_cfg = system.sys_cfg
+        bank_bytes = sys_cfg.l2_size_bytes // system.cfg.num_routers
+        self.l2data: SetAssocCache[bool] = SetAssocCache(
+            max(bank_bytes, sys_cfg.l2_assoc * sys_cfg.line_bytes),
+            sys_cfg.l2_assoc, sys_cfg.line_bytes)
+        self.entries: dict[int, DirEntry] = {}
+        self.stats = {"gets": 0, "getm": 0, "putm": 0, "mem_fetch": 0,
+                      "stale_putm": 0}
+        #: L2 access latency queue: (ready_cycle, msg)
+        self._delayed: list[tuple[int, CoherenceMsg]] = []
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, kind: Kind, line: int, dest: int, *, requester: int = -1,
+              acks: int = 0) -> None:
+        self.system.send(CoherenceMsg(kind, line, self.node,
+                                      requester=requester, acks=acks), dest)
+
+    def entry(self, line: int) -> DirEntry:
+        e = self.entries.get(line)
+        if e is None:
+            e = self.entries[line] = DirEntry()
+        return e
+
+    def receive(self, msg: CoherenceMsg) -> None:
+        """Queue an ejected message behind the L2 access latency."""
+        ready = self.system.net.cycle + self.system.sys_cfg.l2_latency
+        self._delayed.append((ready, msg))
+
+    def step(self, now: int) -> None:
+        if not self._delayed:
+            return
+        ready = [m for t, m in self._delayed if t <= now]
+        if ready:
+            self._delayed = [(t, m) for t, m in self._delayed if t > now]
+            for msg in ready:
+                self.handle(msg)
+
+    # -- protocol ------------------------------------------------------------
+
+    def handle(self, msg: CoherenceMsg) -> None:
+        e = self.entry(msg.line)
+        if e.state == DirState.BUSY and msg.kind in (Kind.GETS, Kind.GETM,
+                                                     Kind.PUTM):
+            e.pending.append(msg)
+            return
+        handler = {
+            Kind.GETS: self._on_gets,
+            Kind.GETM: self._on_getm,
+            Kind.PUTM: self._on_putm,
+            Kind.WB_DATA: self._on_wb_data,
+            Kind.XFER_ACK: self._on_transfer_ack,
+            Kind.MEM_DATA: self._on_mem_data,
+        }[msg.kind]
+        handler(msg, e)
+
+    def _unblock(self, line: int, e: DirEntry) -> None:
+        e.busy_reason = ""
+        # Drain deferred requests until one re-blocks the line (or none
+        # remain): a popped request served without going BUSY must not
+        # strand the ones queued behind it.
+        while e.pending and e.state != DirState.BUSY:
+            self.handle(e.pending.pop(0))
+
+    def _fetch_from_memory(self, line: int, e: DirEntry, reason: str,
+                           requester: int) -> None:
+        e.state = DirState.BUSY
+        e.busy_reason = reason
+        e.owner = requester  # stash the requester for the reply
+        self.stats["mem_fetch"] += 1
+        self._send(Kind.MEM_READ, line, self.system.amap.mc_of(line),
+                   requester=requester)
+
+    def _install_l2(self, line: int) -> None:
+        victim = self.l2data.put(line, True)
+        if victim is not None:
+            # write the victim back to memory (fire-and-forget); its
+            # directory state survives — a later request refetches
+            vline, _ = victim
+            self._send(Kind.MEM_WRITE, vline, self.system.amap.mc_of(vline))
+
+    # GETS ---------------------------------------------------------------
+
+    def _on_gets(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        self.stats["gets"] += 1
+        r = msg.requester
+        if e.state == DirState.I:
+            if msg.line in self.l2data:
+                e.state = DirState.M
+                e.owner = r
+                self._send(Kind.DATA_E, msg.line, r)
+            else:
+                self._fetch_from_memory(msg.line, e, "mem_gets", r)
+        elif e.state == DirState.S:
+            if msg.line in self.l2data:
+                e.sharers.add(r)
+                self._send(Kind.DATA, msg.line, r)
+            else:
+                self._fetch_from_memory(msg.line, e, "mem_gets_s", r)
+        else:  # M: forward to owner
+            e.state = DirState.BUSY
+            e.busy_reason = "fwd_s"
+            e.sharers = {e.owner, r}
+            self._send(Kind.FWD_GETS, msg.line, e.owner, requester=r)
+
+    # GETM ---------------------------------------------------------------
+
+    def _on_getm(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        self.stats["getm"] += 1
+        r = msg.requester
+        if e.state == DirState.I:
+            if msg.line in self.l2data:
+                e.state = DirState.M
+                e.owner = r
+                self._send(Kind.DATA_M, msg.line, r, acks=0)
+            else:
+                self._fetch_from_memory(msg.line, e, "mem_getm", r)
+        elif e.state == DirState.S:
+            others = e.sharers - {r}
+            if msg.line not in self.l2data:
+                # data dropped from the bank; sharers still hold it but the
+                # protocol sources GETM data from the bank: refetch
+                self._fetch_from_memory(msg.line, e, "mem_getm", r)
+                return
+            for s in others:
+                self._send(Kind.INV, msg.line, s, requester=r)
+            e.state = DirState.M
+            e.owner = r
+            e.sharers = set()
+            self._send(Kind.DATA_M, msg.line, r, acks=len(others))
+        else:  # M at another owner
+            e.state = DirState.BUSY
+            e.busy_reason = "fwd_m"
+            self._send(Kind.FWD_GETM, msg.line, e.owner, requester=r)
+            e.owner = r
+
+    # PUTM ---------------------------------------------------------------
+
+    def _on_putm(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        self.stats["putm"] += 1
+        if e.state == DirState.M and e.owner == msg.src:
+            self._install_l2(msg.line)
+            e.state = DirState.I
+            e.owner = -1
+        else:
+            self.stats["stale_putm"] += 1
+        self._send(Kind.WB_ACK, msg.line, msg.src)
+
+    # transaction completions ---------------------------------------------
+
+    def _on_wb_data(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        """Owner's downgrade writeback finishing a fwd_s transaction."""
+        self._install_l2(msg.line)
+        e.state = DirState.S
+        self._unblock(msg.line, e)
+
+    def _on_transfer_ack(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        """Old owner confirms an M->M ownership transfer (fwd_m)."""
+        e.state = DirState.M
+        self._unblock(msg.line, e)
+
+    def _on_mem_data(self, msg: CoherenceMsg, e: DirEntry) -> None:
+        self._install_l2(msg.line)
+        r = msg.requester
+        if e.busy_reason in ("mem_gets", "mem_getm"):
+            e.state = DirState.M
+            e.owner = r
+            kind = Kind.DATA_E if e.busy_reason == "mem_gets" else Kind.DATA_M
+            self._send(kind, msg.line, r)
+        else:  # mem_gets_s: shared read refetch
+            e.state = DirState.S
+            e.sharers.add(r)
+            e.owner = -1
+            self._send(Kind.DATA, msg.line, r)
+        self._unblock(msg.line, e)
+
+
+class MemoryController:
+    """Fixed-latency DRAM channel at a corner node."""
+
+    def __init__(self, system: "CmpSystem", node: int) -> None:
+        self.system = system
+        self.node = node
+        self._queue: list[tuple[int, CoherenceMsg]] = []
+        self.reads = 0
+        self.writes = 0
+
+    def receive(self, msg: CoherenceMsg) -> None:
+        ready = self.system.net.cycle + self.system.sys_cfg.mem_latency
+        if msg.kind == Kind.MEM_READ:
+            self.reads += 1
+            self._queue.append((ready, msg))
+        elif msg.kind == Kind.MEM_WRITE:
+            self.writes += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"MC got {msg.kind}")
+
+    def step(self, now: int) -> None:
+        if not self._queue:
+            return
+        remaining = []
+        for ready, msg in self._queue:
+            if ready <= now:
+                self.system.send(
+                    CoherenceMsg(Kind.MEM_DATA, msg.line, self.node,
+                                 requester=msg.requester),
+                    msg.src)
+            else:
+                remaining.append((ready, msg))
+        self._queue = remaining

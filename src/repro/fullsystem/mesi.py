@@ -1,0 +1,100 @@
+"""MESI directory protocol message and state definitions.
+
+Message classes map onto the three virtual networks of Table I:
+
+* vnet 0 — requests:  GETS, GETM, PUTM, MEM_READ, MEM_WRITE
+* vnet 1 — forwards:  FWD_GETS, FWD_GETM, INV
+* vnet 2 — responses: DATA, DATA_E, WB_DATA, ACK, WB_ACK, MEM_DATA
+
+Responses are always sinkable (ejection never blocks, NI queues are
+unbounded), so the request -> forward -> response ordering is free of
+protocol deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class L1State(Enum):
+    """Stable + transient L1 line states."""
+
+    I = auto()
+    S = auto()
+    E = auto()
+    M = auto()
+    IS_D = auto()   #: load miss, waiting for data
+    IM_AD = auto()  #: store miss, waiting for data + acks
+    SM_AD = auto()  #: upgrade, waiting for data/acks
+    MI_A = auto()   #: evicted dirty line, waiting for WB_ACK
+
+
+class DirState(Enum):
+    """Stable + transient directory states."""
+
+    I = auto()
+    S = auto()
+    M = auto()       #: single owner in E or M
+    BUSY = auto()    #: transaction in flight; new requests queue
+
+
+class Kind(Enum):
+    GETS = auto()
+    GETM = auto()
+    PUTM = auto()
+    FWD_GETS = auto()
+    FWD_GETM = auto()
+    INV = auto()
+    DATA = auto()      #: shared data from dir/owner
+    DATA_E = auto()    #: exclusive data (no other sharers)
+    DATA_M = auto()    #: data granting M (carries ack count)
+    WB_DATA = auto()   #: owner's writeback to the directory
+    ACK = auto()       #: invalidation acknowledgment to requester
+    XFER_ACK = auto()  #: old owner confirms M->M transfer to the directory
+    WB_ACK = auto()    #: directory acknowledges PUTM
+    MEM_READ = auto()
+    MEM_WRITE = auto()
+    MEM_DATA = auto()
+
+
+#: message kind -> virtual network
+VNET: dict[Kind, int] = {
+    Kind.GETS: 0, Kind.GETM: 0, Kind.PUTM: 0,
+    Kind.MEM_READ: 0, Kind.MEM_WRITE: 0,
+    Kind.FWD_GETS: 1, Kind.FWD_GETM: 1, Kind.INV: 1,
+    Kind.DATA: 2, Kind.DATA_E: 2, Kind.DATA_M: 2, Kind.WB_DATA: 2,
+    Kind.ACK: 2, Kind.XFER_ACK: 2, Kind.WB_ACK: 2, Kind.MEM_DATA: 2,
+}
+
+#: message kinds that carry a cache line (5-flit packets); rest are 1 flit
+DATA_KINDS = frozenset({Kind.DATA, Kind.DATA_E, Kind.DATA_M, Kind.WB_DATA,
+                        Kind.MEM_DATA, Kind.PUTM, Kind.MEM_WRITE})
+
+
+@dataclass
+class CoherenceMsg:
+    """Payload carried by NoC packets between protocol engines."""
+
+    kind: Kind
+    line: int
+    src: int                 #: originating node
+    requester: int = -1      #: node that started the transaction
+    acks: int = 0            #: invalidation-ack count (DATA_M)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{self.kind.name} line={self.line:#x} src={self.src} "
+                f"req={self.requester} acks={self.acks}>")
+
+
+@dataclass
+class DirEntry:
+    """One directory slice entry."""
+
+    state: DirState = DirState.I
+    owner: int = -1
+    sharers: set[int] = field(default_factory=set)
+    #: requests deferred while the line is BUSY
+    pending: list[CoherenceMsg] = field(default_factory=list)
+    #: bookkeeping for the in-flight transaction
+    busy_reason: str = ""

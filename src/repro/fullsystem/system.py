@@ -1,0 +1,216 @@
+"""The CMP system: cores + MESI caches + memory controllers co-simulated
+with the NoC (the gem5+BookSim integration of SS VI-A).
+
+Three virtual networks carry the coherence classes (Table I). The OS
+gates every core that received no thread after consolidation; the NoC
+mechanism under test reacts (FLOV drains routers; RP parks them; the
+baseline does nothing). Memory-controller corner routers are protected
+from gating by every mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import NoCConfig, SystemConfig
+from ..gating.schedule import EpochGating
+from ..noc.network import Network
+from ..noc.types import Packet
+from .address import AddressMap, corner_nodes
+from .cpu import Core
+from .directory import DirectoryController, MemoryController
+from .mesi import DATA_KINDS, VNET, CoherenceMsg, Kind
+from .workloads import WorkloadProfile, get_workload
+
+
+@dataclass
+class FullSystemResult:
+    """Outcome of one benchmark run under one mechanism."""
+
+    benchmark: str
+    mechanism: str
+    runtime_cycles: int
+    instructions: int
+    static_j: float
+    dynamic_j: float
+    total_j: float
+    avg_net_latency: float
+    packets: int
+    sleeping_routers: int
+    finished: bool
+    l1_miss_rate: float
+    power_states: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(self.runtime_cycles, 1)
+
+
+class CmpSystem:
+    """64-core CMP bound to a NoC with a power-gating mechanism."""
+
+    def __init__(self, benchmark: str | WorkloadProfile,
+                 mechanism: str = "baseline", *,
+                 sys_cfg: SystemConfig | None = None,
+                 instructions_per_core: int = 2000,
+                 seed: int = 1,
+                 noc_overrides: dict | None = None) -> None:
+        profile = (benchmark if isinstance(benchmark, WorkloadProfile)
+                   else get_workload(benchmark))
+        self.profile = profile
+        self.sys_cfg = sys_cfg or SystemConfig()
+        overrides = dict(noc_overrides or {})
+        overrides.setdefault("num_vnets", 3)
+        self.cfg = NoCConfig(mechanism=mechanism, seed=seed, **overrides)
+        self.net = Network(self.cfg)
+
+        n_nodes = self.cfg.num_routers
+        self.phases = profile.effective_phases()
+        #: per-phase active node sets (consolidation prefixes)
+        self.phase_actives = [profile.active_nodes(n_nodes, frac)
+                              for frac, _ in self.phases]
+        #: cumulative per-core instruction barrier of each phase
+        self.phase_barriers: list[int] = []
+        acc = 0
+        for _, share in self.phases:
+            acc += max(1, round(instructions_per_core * share))
+            self.phase_barriers.append(acc)
+        self.phase_idx = 0
+        self.active_nodes = self.phase_actives[0]
+        self.mcs = corner_nodes(self.cfg)
+        self.amap = AddressMap(self.cfg, self.sys_cfg, self.active_nodes)
+
+        # protect MC routers from gating under every mechanism
+        protected = frozenset(self.mcs)
+        mech = self.net.mech
+        if mechanism == "rp":
+            # Router Parking cannot wake routers on demand between
+            # reconfigurations, so nodes serving live L2 banks must stay
+            # on (the RP paper parks only fully-idle nodes). FLOV/NoRD
+            # instead deliver to gated nodes (wakeup / bypass ring).
+            protected |= frozenset(self.amap.banks)
+        if hasattr(mech, "hsc"):
+            mech.hsc.protected = protected
+        if hasattr(mech, "protected"):
+            mech.protected = protected
+
+        gated = frozenset(range(n_nodes)) - set(self.active_nodes)
+        self.net.set_gating(EpochGating([(0, gated)]))
+
+        # a core's personal finish line: the barrier of the last phase
+        # that includes it
+        finals = {}
+        for nodes, barrier in zip(self.phase_actives, self.phase_barriers):
+            for n in nodes:
+                finals[n] = barrier
+        self.cores: list[Core] = [
+            Core(self, n, profile, active=(n in finals),
+                 target_instructions=finals.get(n, 0), seed=seed)
+            for n in range(n_nodes)]
+        # phase-1 cores first stop at the phase-1 barrier
+        for n in self.active_nodes:
+            self.cores[n].target = self.phase_barriers[0]
+        self.dirs: list[DirectoryController] = [
+            DirectoryController(self, n) for n in range(self.cfg.num_routers)]
+        self.mcs_ctl: dict[int, MemoryController] = {
+            n: MemoryController(self, n) for n in self.mcs}
+        for n, r in enumerate(self.net.routers):
+            r.ni.sink = self._make_sink(n)
+        self.messages_sent = 0
+
+    # -- message plumbing --------------------------------------------------------
+
+    def send(self, msg: CoherenceMsg, dest_node: int) -> None:
+        """Inject a coherence message as a NoC packet."""
+        size = (self.sys_cfg.data_flits if msg.kind in DATA_KINDS
+                else self.sys_cfg.control_flits)
+        self.messages_sent += 1
+        self.net.inject_packet(msg.src, dest_node, size,
+                               vnet=VNET[msg.kind], payload=msg)
+
+    def _make_sink(self, node: int):
+        l1_kinds = (Kind.DATA, Kind.DATA_E, Kind.DATA_M, Kind.ACK,
+                    Kind.WB_ACK, Kind.FWD_GETS, Kind.FWD_GETM, Kind.INV)
+        mc_kinds = (Kind.MEM_READ, Kind.MEM_WRITE)
+
+        def sink(pkt: Packet) -> None:
+            msg = pkt.payload
+            if not isinstance(msg, CoherenceMsg):  # pragma: no cover
+                raise TypeError(f"unexpected payload at node {node}")
+            if msg.kind in l1_kinds:
+                self.cores[node].l1.receive(msg)
+            elif msg.kind in mc_kinds:
+                self.mcs_ctl[node].receive(msg)
+            else:
+                self.dirs[node].receive(msg)
+
+        return sink
+
+    # -- simulation --------------------------------------------------------------
+
+    def _advance_phase_if_ready(self, now: int) -> None:
+        if self.phase_idx >= len(self.phases) - 1:
+            return
+        barrier = self.phase_barriers[self.phase_idx]
+        if any(self.cores[n].instructions < barrier
+               for n in self.active_nodes):
+            return
+        # barrier reached: consolidate onto the next phase's cores and let
+        # the OS gate the rest (the mechanism under test reacts)
+        self.phase_idx += 1
+        self.active_nodes = self.phase_actives[self.phase_idx]
+        next_barrier = self.phase_barriers[self.phase_idx]
+        for n in self.active_nodes:
+            core = self.cores[n]
+            core.target = max(core.target, next_barrier)
+            core.finish_cycle = None
+        gated = frozenset(range(self.cfg.num_routers)) - set(self.active_nodes)
+        self.net.mech.on_schedule_change(now, gated)
+
+    def step(self) -> None:
+        now = self.net.cycle
+        self._advance_phase_if_ready(now)
+        for node in self.active_nodes:
+            self.cores[node].step(now)
+        for d in self.dirs:
+            d.step(now)
+        for mc in self.mcs_ctl.values():
+            mc.step(now)
+        self.net.step()
+
+    def run(self, *, max_cycles: int = 400_000,
+            warmup: int = 0) -> FullSystemResult:
+        """Run the benchmark to completion (or the cycle cap)."""
+        if warmup:
+            for _ in range(warmup):
+                self.step()
+            self.net.begin_measurement()
+        all_workers = [self.cores[n] for n in self.phase_actives[0]]
+        while self.net.cycle < max_cycles:
+            if (self.phase_idx == len(self.phases) - 1
+                    and all(c.done for c in all_workers)):
+                break
+            self.step()
+        finished = (self.phase_idx == len(self.phases) - 1
+                    and all(c.done for c in all_workers))
+        runtime = self.net.cycle
+        rep = self.net.accountant.report(runtime)
+        hits = sum(c.l1.stats["hits"] for c in all_workers)
+        misses = sum(c.l1.stats["misses"] + c.l1.stats["upgrades"]
+                     for c in all_workers)
+        states = self.net.power_states()
+        return FullSystemResult(
+            benchmark=self.profile.name,
+            mechanism=self.cfg.mechanism,
+            runtime_cycles=runtime,
+            instructions=sum(c.instructions for c in all_workers),
+            static_j=rep.static_j,
+            dynamic_j=rep.dynamic_j + rep.gating_j,
+            total_j=rep.total_j,
+            avg_net_latency=self.net.stats.avg_latency,
+            packets=self.net.stats.packets_ejected,
+            sleeping_routers=states.get("SLEEP", 0),
+            finished=finished,
+            l1_miss_rate=misses / max(hits + misses, 1),
+            power_states=states,
+        )

@@ -1,0 +1,4 @@
+"""OS-level core power-gating schedules."""
+from .schedule import EpochGating, GatingSchedule, StaticGating, random_epochs
+
+__all__ = ["GatingSchedule", "StaticGating", "EpochGating", "random_epochs"]

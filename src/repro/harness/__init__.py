@@ -1,0 +1,14 @@
+"""Experiment harness: runners, sweeps, and figure-shaped table output."""
+from .runner import ExperimentResult, default_cycles, paper_length, run_synthetic
+from .sweep import (FIGURE_FRACTIONS, FIGURE_MECHANISMS, FIGURE_RATES,
+                    sweep_fractions, sweep_rates)
+from .ascii_plot import bar_chart, line_chart, sparkline
+from .tables import breakdown_table, normalized_table, series_table, timeline_table
+
+__all__ = [
+    "run_synthetic", "ExperimentResult", "default_cycles", "paper_length",
+    "sweep_fractions", "sweep_rates",
+    "FIGURE_MECHANISMS", "FIGURE_FRACTIONS", "FIGURE_RATES",
+    "series_table", "breakdown_table", "normalized_table", "timeline_table",
+    "line_chart", "bar_chart", "sparkline",
+]

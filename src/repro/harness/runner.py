@@ -1,0 +1,143 @@
+"""Experiment runner: one synthetic-workload measurement per call.
+
+Mirrors the paper's methodology (SS VI-B): warmup cycles excluded from
+measurement, Bernoulli injection at a given flits/cycle/node rate, a
+static fraction of cores power-gated by the OS, one of the four
+mechanisms (baseline / rp / rflov / gflov) active.
+
+Paper-length runs (10k warmup + 100k total) are used when the
+``REPRO_FULL`` environment variable is set; the default is a shorter
+run that preserves every qualitative trend at pure-Python speed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..config import NoCConfig
+from ..gating.schedule import GatingSchedule, StaticGating
+from ..noc.network import Network
+from ..noc.stats import LatencyBreakdown
+from ..traffic.generator import TrafficGenerator
+from ..traffic.patterns import get_pattern
+
+
+def paper_length() -> bool:
+    """True when REPRO_FULL is set: run paper-length simulations."""
+    return bool(os.environ.get("REPRO_FULL"))
+
+
+def default_cycles() -> tuple[int, int]:
+    """(warmup, measured) cycle counts."""
+    if paper_length():
+        return 10_000, 90_000
+    return 2_000, 10_000
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure needs from one simulation run."""
+
+    mechanism: str
+    pattern: str
+    rate: float
+    gated_fraction: float
+    warmup: int
+    measured_cycles: int
+    avg_latency: float
+    avg_network_latency: float
+    breakdown: LatencyBreakdown
+    throughput: float
+    packets: int
+    escaped: int
+    static_w: float
+    dynamic_w: float
+    total_w: float
+    static_j: float
+    dynamic_j: float
+    total_j: float
+    sleeping_routers: int
+    gating_events: int
+    power_states: dict[str, int] = field(default_factory=dict)
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+    def as_row(self) -> dict[str, float | str | int]:
+        return {
+            "mechanism": self.mechanism,
+            "pattern": self.pattern,
+            "rate": self.rate,
+            "gated": self.gated_fraction,
+            "latency": self.avg_latency,
+            "static_w": self.static_w,
+            "dynamic_w": self.dynamic_w,
+            "total_w": self.total_w,
+            "sleeping": self.sleeping_routers,
+        }
+
+
+def run_synthetic(mechanism: str, *, pattern: str = "uniform",
+                  rate: float = 0.02, gated_fraction: float = 0.0,
+                  warmup: int | None = None, measure: int | None = None,
+                  seed: int = 1, schedule: GatingSchedule | None = None,
+                  keep_samples: bool = False,
+                  drain: bool = True,
+                  **config_overrides) -> ExperimentResult:
+    """Run one synthetic-traffic experiment and collect metrics.
+
+    ``schedule`` overrides the default static gating of
+    ``gated_fraction`` (used by the reconfiguration-timeline experiment).
+    Extra keyword arguments override :class:`NoCConfig` fields.
+    """
+    dw, dm = default_cycles()
+    warmup = dw if warmup is None else warmup
+    measure = dm if measure is None else measure
+
+    cfg = NoCConfig(mechanism=mechanism, seed=seed, **config_overrides)
+    net = Network(cfg, keep_samples=keep_samples)
+    if schedule is None:
+        schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
+    net.set_gating(schedule)
+    gen = TrafficGenerator(net, get_pattern(pattern, cfg), rate, seed=seed)
+
+    gen.run(warmup)
+    net.begin_measurement()
+    gen.run(measure)
+    # snapshot energy for exactly the measured window, then let in-flight
+    # measured packets finish (latency stats are keyed by create time)
+    rep = net.accountant.report(warmup + measure)
+    if drain:
+        idle = 0
+        for _ in range(20_000):
+            net.step()
+            idle = idle + 1 if net.network_drained() else 0
+            if idle > 8:
+                break
+
+    stats = net.stats
+    power = rep.power_w(net.pcfg.cycle_time_s)
+    states = net.power_states()
+    return ExperimentResult(
+        mechanism=mechanism,
+        pattern=pattern,
+        rate=rate,
+        gated_fraction=gated_fraction,
+        warmup=warmup,
+        measured_cycles=measure,
+        avg_latency=stats.avg_latency,
+        avg_network_latency=stats.avg_network_latency,
+        breakdown=stats.breakdown(cfg.packet_size),
+        throughput=stats.throughput(measure, cfg.num_routers),
+        packets=stats.measured_packets,
+        escaped=stats.escaped_packets,
+        static_w=power["static"],
+        dynamic_w=power["dynamic"],
+        total_w=power["total"],
+        static_j=rep.static_j,
+        dynamic_j=rep.dynamic_j + rep.gating_j,
+        total_j=rep.total_j,
+        sleeping_routers=states.get("SLEEP", 0),
+        gating_events=net.accountant.gating_events,
+        power_states=states,
+        samples=list(stats.samples) if keep_samples else [],
+    )

@@ -1,0 +1,50 @@
+"""Parameter sweeps over mechanisms / gated fractions / injection rates —
+the loops behind Figures 6, 7 and 9."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .runner import ExperimentResult, run_synthetic
+
+#: the four mechanisms every figure compares
+FIGURE_MECHANISMS: tuple[str, ...] = ("baseline", "rp", "rflov", "gflov")
+
+#: gated-core fractions on the x-axis of Figures 6/7/9
+FIGURE_FRACTIONS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                       0.7, 0.8)
+
+#: the two injection rates of Figures 6/7
+FIGURE_RATES: tuple[float, ...] = (0.02, 0.08)
+
+
+def sweep_fractions(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
+                    fractions: Iterable[float] = FIGURE_FRACTIONS, *,
+                    pattern: str = "uniform", rate: float = 0.02,
+                    seed: int = 1,
+                    **kwargs) -> dict[str, list[ExperimentResult]]:
+    """Latency/power vs. gated fraction, one series per mechanism."""
+    out: dict[str, list[ExperimentResult]] = {}
+    for mech in mechanisms:
+        series = []
+        for frac in fractions:
+            series.append(run_synthetic(mech, pattern=pattern, rate=rate,
+                                        gated_fraction=frac, seed=seed,
+                                        **kwargs))
+        out[mech] = series
+    return out
+
+
+def sweep_rates(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
+                rates: Iterable[float] = (0.01, 0.02, 0.04, 0.06, 0.08), *,
+                pattern: str = "uniform", gated_fraction: float = 0.0,
+                seed: int = 1,
+                **kwargs) -> dict[str, list[ExperimentResult]]:
+    """Latency vs. offered load (load-latency curves)."""
+    out: dict[str, list[ExperimentResult]] = {}
+    for mech in mechanisms:
+        out[mech] = [run_synthetic(mech, pattern=pattern, rate=r,
+                                   gated_fraction=gated_fraction, seed=seed,
+                                   **kwargs)
+                     for r in rates]
+    return out

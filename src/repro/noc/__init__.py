@@ -1,0 +1,7 @@
+"""Cycle-level NoC simulation substrate (BookSim-equivalent)."""
+from .network import Network
+from .stats import LatencyBreakdown, StatsCollector
+from .types import Direction, Flit, Packet
+
+__all__ = ["Network", "StatsCollector", "LatencyBreakdown", "Direction",
+           "Flit", "Packet"]

@@ -1,0 +1,71 @@
+"""Separable round-robin arbiters and allocators.
+
+The router uses two allocation steps per cycle, as in a classic 3-stage
+VC router:
+
+* **VC allocation (VA)** — input VCs in ROUTING state compete for a free
+  output VC at their computed output port.
+* **Switch allocation (SA)** — ACTIVE input VCs with a ready flit and a
+  downstream credit compete for crossbar passage; at most one grant per
+  input port and one per output port (a crossbar constraint), implemented
+  as separable input-first allocation with round-robin priority.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, TypeVar
+
+R = TypeVar("R", bound=Hashable)
+
+
+class RoundRobinArbiter:
+    """Round-robin arbiter over a fixed number of request lines."""
+
+    __slots__ = ("size", "_last")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("arbiter needs at least one line")
+        self.size = size
+        self._last = size - 1
+
+    def grant(self, requests: Sequence[bool]) -> int:
+        """Return the granted line index, or -1 if none requested.
+
+        Priority rotates: the line after the previous winner has highest
+        priority, giving strong fairness (no starvation among persistent
+        requesters).
+        """
+        if len(requests) != self.size:
+            raise ValueError("request vector size mismatch")
+        for off in range(1, self.size + 1):
+            i = (self._last + off) % self.size
+            if requests[i]:
+                self._last = i
+                return i
+        return -1
+
+
+class MatrixArbiter:
+    """Round-robin arbiter keyed by arbitrary hashable requesters.
+
+    Used where the requester population varies cycle to cycle (e.g. output
+    ports arbitrating among input VCs).
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last: Hashable | None = None
+
+    def grant(self, requesters: Iterable[R]) -> R | None:
+        """Grant one requester, rotating priority after the previous winner."""
+        reqs = list(requesters)
+        if not reqs:
+            return None
+        if self._last in reqs:
+            start = reqs.index(self._last) + 1
+            reqs = reqs[start:] + reqs[:start]
+        winner = reqs[0]
+        self._last = winner
+        return winner

@@ -1,0 +1,98 @@
+"""Per-VC input buffers and their flow-control state."""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+
+from .types import Direction, Flit
+
+
+class VCState(IntEnum):
+    """Input-VC pipeline state (BookSim-style)."""
+
+    IDLE = 0      #: no packet owns this VC's head-of-line
+    ROUTING = 1   #: head at front, awaiting route computation / VC alloc
+    ACTIVE = 2    #: output port+VC allocated; flits flow via SA/ST
+
+
+class InputVC:
+    """One virtual-channel FIFO at a router input port.
+
+    The FIFO may hold flits of more than one packet (the tail of an old
+    packet followed by the head of a new one, which happens when the
+    upstream reallocates the output VC as soon as the old tail leaves).
+    The state machine always describes the packet at the *front*:
+    popping a tail frees the VC, and if the next front flit is a head,
+    the VC immediately re-enters ROUTING for it.
+    """
+
+    __slots__ = ("capacity", "buffer", "state", "out_port", "out_vc",
+                 "wait_since")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.buffer: deque[Flit] = deque()
+        self.state = VCState.IDLE
+        self.out_port: Direction | None = None
+        self.out_vc: int = -1
+        #: cycle the current head started waiting (escape-timeout tracking)
+        self.wait_since: int = -1
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def free_slots(self) -> int:
+        """Buffer slots currently unoccupied."""
+        return self.capacity - len(self.buffer)
+
+    @property
+    def front(self) -> Flit | None:
+        """Flit at the head of the FIFO, or None."""
+        return self.buffer[0] if self.buffer else None
+
+    # -- mutation ------------------------------------------------------------
+
+    def push(self, flit: Flit, now: int) -> None:
+        """Buffer an arriving flit."""
+        if len(self.buffer) >= self.capacity:
+            raise OverflowError("VC buffer overflow: flow control violated")
+        self.buffer.append(flit)
+        self._refresh(now)
+
+    def pop(self, now: int) -> Flit:
+        """Remove the front flit; a tail departure frees the VC."""
+        flit = self.buffer.popleft()
+        if flit.is_tail:
+            self.state = VCState.IDLE
+            self.out_port = None
+            self.out_vc = -1
+            self.wait_since = -1
+            self._refresh(now)
+        return flit
+
+    def _refresh(self, now: int) -> None:
+        """IDLE VC with a head flit at the front starts ROUTING."""
+        if self.state == VCState.IDLE and self.buffer:
+            front = self.buffer[0]
+            if front.is_head:
+                self.state = VCState.ROUTING
+                self.wait_since = now
+
+    def allocate(self, out_port: Direction, out_vc: int) -> None:
+        """Record the VA decision; ROUTING -> ACTIVE."""
+        if self.state != VCState.ROUTING:
+            raise RuntimeError("allocate on a VC not in ROUTING")
+        self.state = VCState.ACTIVE
+        self.out_port = out_port
+        self.out_vc = out_vc
+
+    def release_route(self, now: int) -> None:
+        """Drop a granted route and return to ROUTING (escape escalation)."""
+        self.state = VCState.ROUTING
+        self.out_port = None
+        self.out_vc = -1
+        self.wait_since = now

@@ -1,0 +1,67 @@
+"""Channels: pipelined flit links, credit return wires, control wires.
+
+Channels are simple time-stamped queues. A sender places an item with an
+explicit arrival cycle; the receiver drains all items whose arrival cycle
+has been reached. This models fixed-latency pipelined wires with one
+flit/cycle bandwidth (enforced by the sender, which can issue at most one
+switch traversal per output port per cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class DelayChannel(Generic[T]):
+    """A fixed-latency, order-preserving delay line."""
+
+    __slots__ = ("latency", "_q")
+
+    def __init__(self, latency: int = 1) -> None:
+        if latency < 1:
+            raise ValueError("channel latency must be >= 1")
+        self.latency = latency
+        self._q: deque[tuple[int, T]] = deque()
+
+    def send(self, item: T, now: int) -> None:
+        """Enqueue ``item`` at cycle ``now``; arrives ``now + latency``."""
+        self._q.append((now + self.latency, item))
+
+    def send_at(self, item: T, arrival: int) -> None:
+        """Enqueue with an explicit arrival cycle (must be monotone)."""
+        if self._q and self._q[-1][0] > arrival:
+            raise ValueError("channel arrivals must be monotone")
+        self._q.append((arrival, item))
+
+    def receive(self, now: int) -> list[T]:
+        """Pop and return every item whose arrival cycle is <= ``now``."""
+        out: list[T] = []
+        q = self._q
+        while q and q[0][0] <= now:
+            out.append(q.popleft()[1])
+        return out
+
+    def peek_arrivals(self) -> Iterator[tuple[int, T]]:
+        """Iterate (arrival, item) without consuming — for drain checks."""
+        return iter(self._q)
+
+    def clear(self) -> None:
+        """Drop everything in flight (power-state reconfiguration only)."""
+        self._q.clear()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+
+class CreditChannel(DelayChannel[int]):
+    """Credit return wire. Items are global VC indices being credited."""
+
+
+class ControlChannel(DelayChannel["object"]):
+    """Out-of-band handshake wire between adjacent routers (1 cycle)."""

@@ -1,0 +1,226 @@
+"""Mesh network: topology wiring and the cycle-driven simulation kernel.
+
+Per-cycle phase order (cycle accuracy contract):
+
+1. OS gating-schedule changes are announced to the mechanism.
+2. The mechanism's control plane steps (handshakes / fabric manager);
+   power-state transitions commit here, observing channel/buffer state
+   from the end of the previous cycle.
+3. Credits whose arrival cycle has been reached are delivered (or relayed
+   by sleeping routers).
+4. Flits are delivered into input buffers (or fly over sleeping routers).
+5. Every powered router with work evaluates: escape-timeout escalation,
+   NI injection, VC allocation, switch allocation + traversal.
+"""
+
+from __future__ import annotations
+
+from ..config import NoCConfig, PowerConfig
+from ..gating.schedule import GatingSchedule
+from ..power.accounting import EnergyAccountant
+from ..power.dsent import power_config_for
+from .mechanism import BaselineMechanism, Mechanism
+from .router import Router
+from .stats import StatsCollector
+from .types import OPPOSITE, Direction, Flit, Packet, make_packet
+
+
+def _mechanism_class(name: str) -> type[Mechanism]:
+    if name == "baseline":
+        return BaselineMechanism
+    if name == "rflov":
+        from ..core.flov import RFlovMechanism
+        return RFlovMechanism
+    if name == "gflov":
+        from ..core.flov import GFlovMechanism
+        return GFlovMechanism
+    if name == "rp":
+        from ..baselines.router_parking import RouterParkingMechanism
+        return RouterParkingMechanism
+    if name == "nord":
+        from ..baselines.nord import NordMechanism
+        return NordMechanism
+    raise ValueError(f"unknown mechanism {name!r}")
+
+
+class Network:
+    """An ``width x height`` mesh NoC with a pluggable gating mechanism."""
+
+    def __init__(self, cfg: NoCConfig, pcfg: PowerConfig | None = None, *,
+                 keep_samples: bool = False) -> None:
+        self.cfg = cfg
+        self.pcfg = pcfg if pcfg is not None else power_config_for(cfg)
+        self.cycle = 0
+        self.injection_frozen = False
+        num_links = 2 * ((cfg.width - 1) * cfg.height
+                         + (cfg.height - 1) * cfg.width)
+        self.accountant = EnergyAccountant(self.pcfg, num_links=num_links,
+                                           num_routers=cfg.num_routers)
+        self.stats = StatsCollector(cfg.router_latency,
+                                    keep_samples=keep_samples)
+        self.routers: list[Router] = [Router(self, n)
+                                      for n in range(cfg.num_routers)]
+        self._wire()
+        self.mech: Mechanism = _mechanism_class(cfg.mechanism)(self)
+        self.mech.setup()
+        self.gating: GatingSchedule = GatingSchedule()
+        self._change_points: tuple[int, ...] = ()
+        self._pid = 0
+
+    # -- construction --------------------------------------------------------
+
+    def _wire(self) -> None:
+        from .channel import CreditChannel, DelayChannel
+
+        cfg = self.cfg
+        for r in self.routers:
+            for d in (Direction.NORTH, Direction.EAST):
+                nb_id = r.neighbor_id(d)
+                if nb_id is None:
+                    continue
+                nb = self.routers[nb_id]
+                od = OPPOSITE[d]
+                fwd: DelayChannel[Flit] = DelayChannel(cfg.link_latency)
+                rev: DelayChannel[Flit] = DelayChannel(cfg.link_latency)
+                r.out_flit[d] = fwd
+                nb.in_flit[od] = fwd
+                nb.out_flit[od] = rev
+                r.in_flit[d] = rev
+                # credits for flits r -> nb flow back on nb.out_credit[od]
+                cr_fwd = CreditChannel(cfg.credit_latency)
+                cr_rev = CreditChannel(cfg.credit_latency)
+                nb.out_credit[od] = cr_fwd
+                r.in_credit[d] = cr_fwd
+                r.out_credit[d] = cr_rev
+                nb.in_credit[od] = cr_rev
+
+    def router_at(self, x: int, y: int) -> Router:
+        return self.routers[self.cfg.node_id(x, y)]
+
+    # -- gating schedule ------------------------------------------------------
+
+    def set_gating(self, schedule: GatingSchedule) -> None:
+        """Install an OS core-gating schedule (before the first step)."""
+        self.gating = schedule
+        self._change_points = tuple(schedule.change_points)
+        self.mech.on_schedule_change(self.cycle,
+                                     schedule.gated_at(self.cycle))
+
+    # -- traffic ---------------------------------------------------------------
+
+    def inject_packet(self, src: int, dest: int, size: int | None = None, *,
+                      vnet: int = 0, payload: object = None) -> Packet:
+        """Create a packet and queue it at the source NI."""
+        if size is None:
+            size = self.cfg.packet_size
+        self._pid += 1
+        flits = make_packet(self._pid, src, dest, size, vnet=vnet,
+                            time=self.cycle, payload=payload)
+        pkt = flits[0].packet
+        if src == dest:
+            # NI loopback: never enters the network
+            pkt.inject_time = self.cycle
+            self.stats.on_inject(pkt)
+            self.routers[src].ni.eject(pkt, self.cycle)
+            return pkt
+        self.routers[src].ni.send_flits(flits)
+        return pkt
+
+    # -- simulation kernel ------------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self._step_one()
+
+    def _step_one(self) -> None:
+        now = self.cycle
+        if now in self._change_points:
+            self.mech.on_schedule_change(now, self.gating.gated_at(now))
+        self.mech.step(now)
+        routers = self.routers
+        for r in routers:
+            for d, ch in r.in_credit.items():
+                q = ch._q
+                while q and q[0][0] <= now:
+                    r.deliver_credit(q.popleft()[1], d, now)
+        for r in routers:
+            for d, ch in r.in_flit.items():
+                q = ch._q
+                while q and q[0][0] <= now:
+                    r.deliver_flit(q.popleft()[1], d, now)
+        for r in routers:
+            r.evaluate(now)
+        self.cycle = now + 1
+
+    def run(self, cycles: int) -> None:
+        """Alias for :meth:`step` with a mandatory count."""
+        self.step(cycles)
+
+    def begin_measurement(self) -> None:
+        """End warmup: measure latency/energy from the current cycle on."""
+        self.stats.warmup = self.cycle
+        self.accountant.reset_window(self.cycle)
+
+    # -- global inspection helpers (mechanism support + tests) --------------------
+
+    def _walk(self, src: int, dst: int) -> tuple[Direction, list[int]]:
+        """Direction and node path (src inclusive, dst exclusive) along a
+        shared row/column."""
+        cfg = self.cfg
+        sx, sy = cfg.node_xy(src)
+        dx, dy = cfg.node_xy(dst)
+        if sx == dx:
+            d = Direction.NORTH if dy > sy else Direction.SOUTH
+            step = cfg.width if dy > sy else -cfg.width
+        elif sy == dy:
+            d = Direction.EAST if dx > sx else Direction.WEST
+            step = 1 if dx > sx else -1
+        else:
+            raise ValueError("nodes do not share a row or column")
+        path = []
+        node = src
+        while node != dst:
+            path.append(node)
+            node += step
+        return d, path
+
+    def segment_has_no_flits(self, src: int, dst: int) -> bool:
+        """No flits in flight on the straight channel segment src -> dst."""
+        d, path = self._walk(src, dst)
+        for node in path:
+            ch = self.routers[node].out_flit.get(d)
+            if ch is not None and len(ch):
+                return False
+        return True
+
+    def purge_credits_between(self, a: int, b: int) -> None:
+        """Drop in-flight credits on the straight segment between ``a`` and
+        ``b`` (both directions) — part of the wake-up credit re-sync."""
+        d, path = self._walk(a, b)
+        od = OPPOSITE[d]
+        for node in path:
+            ch = self.routers[node].out_credit.get(d)
+            if ch is not None:
+                ch.clear()
+        _, rpath = self._walk(b, a)
+        for node in rpath:
+            ch = self.routers[node].out_credit.get(od)
+            if ch is not None:
+                ch.clear()
+    def network_drained(self) -> bool:
+        """True when no flits exist in buffers or on links (NIs excluded)."""
+        for r in self.routers:
+            if r.occupancy:
+                return False
+            for ch in r.out_flit.values():
+                if ch:
+                    return False
+        return True
+
+    def power_states(self) -> dict[str, int]:
+        """Population count per power state (reporting)."""
+        out: dict[str, int] = {}
+        for r in self.routers:
+            out[r.state.name] = out.get(r.state.name, 0) + 1
+        return out

@@ -1,0 +1,126 @@
+"""Fundamental NoC datatypes: directions, packets, flits.
+
+The mesh coordinate system: ``x`` grows eastward, ``y`` grows northward,
+node id = ``y * width + x``. Port/direction encoding is shared by routers,
+channels and routing functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class Direction(IntEnum):
+    """Router port directions. LOCAL is the NI (injection/ejection) port."""
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+    LOCAL = 4
+
+
+#: The four mesh directions (excluding LOCAL), in port order.
+MESH_DIRS: tuple[Direction, ...] = (
+    Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST,
+)
+
+#: Opposite of each mesh direction, e.g. ``OPPOSITE[NORTH] is SOUTH``.
+OPPOSITE: dict[Direction, Direction] = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+#: Unit (dx, dy) step taken when leaving through each mesh direction.
+DIR_DELTA: dict[Direction, tuple[int, int]] = {
+    Direction.NORTH: (0, 1),
+    Direction.SOUTH: (0, -1),
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+}
+
+
+@dataclass
+class Packet:
+    """A multi-flit packet.
+
+    Carries end-to-end timing and the per-component latency breakdown
+    needed to reproduce Figure 8 (router / link / serialization /
+    contention / FLOV latency accumulation).
+    """
+
+    pid: int
+    src: int
+    dest: int
+    size: int
+    vnet: int = 0
+    #: Cycle the packet was created (entered the source queue).
+    create_time: int = 0
+    #: Cycle the head flit entered the network (left the source queue).
+    inject_time: int = -1
+    #: Cycle the tail flit was ejected at the destination NI.
+    eject_time: int = -1
+    #: Number of powered-on routers the head flit traversed (incl. src/dest).
+    router_hops: int = 0
+    #: Number of link traversals of the head flit.
+    link_hops: int = 0
+    #: Number of FLOV (sleeping-router latch) traversals of the head flit.
+    flov_hops: int = 0
+    #: Whether the packet ever entered the escape sub-network.
+    escaped: bool = False
+    #: Optional payload for full-system protocol messages.
+    payload: object = None
+
+    @property
+    def latency(self) -> int:
+        """Total packet latency: creation to tail ejection (incl. queuing)."""
+        return self.eject_time - self.create_time
+
+    @property
+    def network_latency(self) -> int:
+        """Latency from head injection to tail ejection."""
+        return self.eject_time - self.inject_time
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: Packet
+    index: int
+    is_head: bool
+    is_tail: bool
+    #: Global VC index currently occupied / allocated downstream.
+    vc: int = 0
+    #: Direction the flit entered the current router from (for U-turn ban).
+    in_dir: Direction = Direction.LOCAL
+    #: Cycle the flit becomes switch-allocation eligible at current router.
+    ready: int = 0
+    #: Cycle the flit was buffered at the current router (escape timeout).
+    buffered_at: int = 0
+    #: True once the packet has been moved into the escape sub-network.
+    escape: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return (f"<Flit p{self.packet.pid}.{self.index}{kind} "
+                f"{self.packet.src}->{self.packet.dest} vc={self.vc}>")
+
+
+def make_packet(pid: int, src: int, dest: int, size: int, *, vnet: int = 0,
+                time: int = 0, payload: object = None) -> list[Flit]:
+    """Build the flits of a packet; returns them head-first.
+
+    A single-flit packet's flit is both head and tail.
+    """
+    if size < 1:
+        raise ValueError("packet size must be >= 1 flit")
+    pkt = Packet(pid=pid, src=src, dest=dest, size=size, vnet=vnet,
+                 create_time=time, payload=payload)
+    return [
+        Flit(packet=pkt, index=i, is_head=(i == 0), is_tail=(i == size - 1))
+        for i in range(size)
+    ]

@@ -1,0 +1,7 @@
+"""Synthetic traffic patterns, injection processes, trace record/replay."""
+from .generator import TrafficGenerator
+from .patterns import PATTERNS, get_pattern
+from .trace import TracePlayer, TraceRecorder, load_trace
+
+__all__ = ["TrafficGenerator", "PATTERNS", "get_pattern",
+           "TraceRecorder", "TracePlayer", "load_trace"]

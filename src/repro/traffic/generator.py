@@ -1,0 +1,69 @@
+"""Bernoulli packet injection for synthetic workloads.
+
+The injection rate is expressed in flits/cycle/node as in the paper's
+figures; each active core flips a Bernoulli coin per cycle with
+probability ``rate / packet_size`` and, on success, enqueues one packet
+whose destination comes from the traffic pattern. Gated cores neither
+inject nor receive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from .patterns import PatternFn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..noc.network import Network
+
+
+class TrafficGenerator:
+    """Open-loop Bernoulli source attached to every active node."""
+
+    def __init__(self, net: "Network", pattern: PatternFn,
+                 rate_flits_per_node: float, *, seed: int | None = None) -> None:
+        if rate_flits_per_node < 0:
+            raise ValueError("rate must be non-negative")
+        self.net = net
+        self.pattern = pattern
+        self.rate = rate_flits_per_node
+        self.pkt_prob = rate_flits_per_node / net.cfg.packet_size
+        if self.pkt_prob > 1.0:
+            raise ValueError("injection rate exceeds one packet/cycle/node")
+        self.rng = random.Random(net.cfg.seed if seed is None else seed)
+        self._active: list[int] = list(range(net.cfg.num_routers))
+        self._active_for: frozenset[int] | None = None
+
+    def _refresh_active(self, now: int) -> None:
+        gated = self.net.gating.gated_at(now)
+        if gated is self._active_for:
+            return
+        self._active = [n for n in range(self.net.cfg.num_routers)
+                        if n not in gated]
+        self._active_for = gated
+
+    def tick(self) -> int:
+        """Inject for the current network cycle; returns packets created."""
+        net = self.net
+        now = net.cycle
+        self._refresh_active(now)
+        active = self._active
+        if len(active) < 2 or self.pkt_prob == 0.0:
+            return 0
+        rng = self.rng
+        created = 0
+        for src in active:
+            if rng.random() < self.pkt_prob:
+                dest = self.pattern(src, active, rng)
+                if dest == src:
+                    continue
+                net.inject_packet(src, dest)
+                created += 1
+        return created
+
+    def run(self, cycles: int) -> None:
+        """Inject+step for ``cycles`` network cycles."""
+        for _ in range(cycles):
+            self.tick()
+            self.net.step()

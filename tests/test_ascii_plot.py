@@ -1,0 +1,55 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.harness.ascii_plot import bar_chart, line_chart, sparkline
+
+
+def test_line_chart_places_extremes():
+    out = line_chart("T", [0, 10], {"a": [1.0, 2.0]}, width=20, height=5)
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    # max value on top row, min on bottom row
+    assert "2.00" in lines[1]
+    assert "1.00" in lines[5]
+    top = lines[1].split("|", 1)[1]
+    bottom = lines[5].split("|", 1)[1]
+    assert top.rstrip().endswith("o")
+    assert bottom.startswith("o")
+
+
+def test_line_chart_multi_series_glyphs_and_legend():
+    out = line_chart("T", [0, 1], {"a": [0, 1], "b": [1, 0]})
+    assert "o a" in out and "* b" in out
+    assert "o" in out and "*" in out
+
+
+def test_line_chart_constant_series():
+    out = line_chart("T", [0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+    assert "flat" in out
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart("T", [], {})
+    with pytest.raises(ValueError):
+        line_chart("T", [0, 1], {"a": [1.0]})
+
+
+def test_bar_chart_scales_to_peak():
+    out = bar_chart("B", {"big": 100.0, "half": 50.0}, width=10)
+    lines = out.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart("B", {})
+
+
+def test_sparkline_monotone():
+    s = sparkline([0, 1, 2, 3])
+    assert len(s) == 4
+    assert s[0] == " " and s[-1] == "@"
+    assert sparkline([]) == ""

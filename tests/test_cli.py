@@ -1,0 +1,57 @@
+"""CLI smoke tests (also serve as end-to-end examples)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_info(capsys):
+    rc, out = run_cli(capsys, "info")
+    assert rc == 0
+    assert "8x8" in out
+    assert "17.7 pJ" in out
+    assert "HSC" in out
+
+
+def test_synthetic(capsys):
+    rc, out = run_cli(capsys, "synthetic", "-m", "gflov", "--gated", "0.4",
+                      "--warmup", "300", "--measure", "1200")
+    assert rc == 0
+    assert "avg latency" in out
+    assert "routers asleep" in out
+
+
+def test_sweep(capsys):
+    rc, out = run_cli(capsys, "sweep", "--mechanisms", "baseline,gflov",
+                      "--fractions", "0.0,0.4", "--warmup", "200",
+                      "--measure", "800")
+    assert rc == 0
+    assert "static power" in out and "gflov" in out
+
+
+def test_parsec(capsys):
+    rc, out = run_cli(capsys, "parsec", "--benchmarks", "swaptions",
+                      "--mechanisms", "baseline", "--instructions", "60",
+                      "--max-cycles", "40000")
+    assert rc == 0
+    assert "swaptions" in out
+
+
+def test_trace_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "t.txt"
+    rc, out = run_cli(capsys, "trace", "--record", str(trace),
+                      "--measure", "1500", "--rate", "0.02")
+    assert rc == 0 and "recorded" in out
+    rc, out = run_cli(capsys, "trace", "--replay", str(trace))
+    assert rc == 0 and "replayed" in out
+
+
+def test_parser_rejects_unknown_mechanism():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["synthetic", "-m", "nope"])

@@ -1,0 +1,42 @@
+"""Examples must stay runnable: execute them as subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "baseline" in out and "gflov" in out
+    assert "static" in out.lower()
+
+
+def test_routing_explorer_example():
+    out = run_example("routing_explorer.py")
+    assert "fly-over" in out
+    assert "eject" in out
+    assert "power-gated routers" in out
+
+
+@pytest.mark.slow
+def test_consolidation_day_example():
+    out = run_example("consolidation_day.py")
+    assert "gflov" in out and "worst win" in out
+
+
+@pytest.mark.slow
+def test_parsec_fullsystem_example():
+    out = run_example("parsec_fullsystem.py", "swaptions")
+    assert "swaptions" in out and "baseline" in out

@@ -1,0 +1,222 @@
+"""FLOV handshake protocol tests: drain, sleep, wakeup, credit relaying,
+restrictions — exercising the distributed HSC end to end."""
+
+import pytest
+
+from repro import NoCConfig, Network, StaticGating
+from repro.core.power_fsm import PowerState
+from repro.gating.schedule import EpochGating
+from repro.noc.types import Direction
+from repro.noc.validation import check_all, pointer_coherence_violations
+
+
+def make_net(mech="gflov", **kw):
+    return Network(NoCConfig(mechanism=mech, **kw))
+
+
+def settle(net, cycles=400):
+    for _ in range(cycles):
+        net.step()
+
+
+def gate(net, nodes, cycles=400):
+    net.set_gating(EpochGating([(0, frozenset(nodes))]))
+    settle(net, cycles)
+
+
+# ------------------------------------------------------------------- drain
+
+def test_idle_gated_router_sleeps():
+    net = make_net()
+    gate(net, {27})
+    assert net.routers[27].state == PowerState.SLEEP
+
+
+def test_aon_column_never_sleeps():
+    net = make_net()
+    gate(net, {7, 15, 23, 31, 39, 47, 55, 63})
+    for node in (7, 15, 23, 31, 39, 47, 55, 63):
+        assert net.routers[node].state == PowerState.ACTIVE
+
+
+def test_active_core_does_not_sleep():
+    net = make_net()
+    gate(net, {20})
+    assert net.routers[21].state == PowerState.ACTIVE
+
+
+def test_sleep_updates_neighbor_psrs():
+    net = make_net()
+    gate(net, {27})
+    r26 = net.routers[26]
+    assert r26.psr[Direction.EAST] == PowerState.SLEEP
+    assert r26.logical[Direction.EAST] == 28
+    r28 = net.routers[28]
+    assert r28.psr[Direction.WEST] == PowerState.SLEEP
+    assert r28.logical[Direction.WEST] == 26
+
+
+def test_rflov_restriction_no_adjacent_sleep():
+    """rFLOV: no two adjacent routers in a row/column power-gated."""
+    net = make_net("rflov")
+    gate(net, set(range(64)) - {7, 15, 23, 31, 39, 47, 55, 63}, cycles=2000)
+    for r in net.routers:
+        if r.state != PowerState.SLEEP:
+            continue
+        for d in r.mesh_ports:
+            nb = net.routers[r.neighbor_id(d)]
+            assert nb.state != PowerState.SLEEP, (r.node, nb.node)
+
+
+def test_gflov_gates_consecutive_routers():
+    net = make_net("gflov")
+    gate(net, {25, 26, 27, 28}, cycles=1500)
+    states = [net.routers[n].state for n in (25, 26, 27, 28)]
+    assert all(s == PowerState.SLEEP for s in states)
+    # logical pointers spliced across the whole run
+    assert net.routers[24].logical[Direction.EAST] == 29
+    assert net.routers[29].logical[Direction.WEST] == 24
+
+
+def test_gflov_pointer_coherence_quiescent():
+    net = make_net("gflov")
+    gate(net, {9, 10, 11, 18, 36, 37, 44}, cycles=2000)
+    assert pointer_coherence_violations(net) == []
+
+
+def test_drain_arbitration_lower_id_wins_eventually_both_sleep():
+    """Adjacent simultaneous drains: arbitration must not lose either —
+    in gFLOV both eventually sleep (one after the other)."""
+    net = make_net("gflov")
+    gate(net, {27, 28}, cycles=3000)
+    assert net.routers[27].state == PowerState.SLEEP
+    assert net.routers[28].state == PowerState.SLEEP
+
+
+def test_edge_column_gating_isolates():
+    """West-edge routers gate with FLOV links only in Y; corners isolate."""
+    net = make_net("gflov")
+    gate(net, {0, 8, 16}, cycles=2000)
+    assert net.routers[8].state == PowerState.SLEEP
+    assert net.routers[0].state == PowerState.SLEEP  # corner may gate
+
+
+# ------------------------------------------------------------------ wakeup
+
+def test_core_reactivation_wakes_router():
+    net = make_net()
+    net.set_gating(EpochGating([(0, {27}), (600, frozenset())]))
+    settle(net, 400)
+    assert net.routers[27].state == PowerState.SLEEP
+    settle(net, 400)
+    assert net.routers[27].state == PowerState.ACTIVE
+    assert pointer_coherence_violations(net) == []
+
+
+def test_wakeup_on_packet_for_sleeping_destination():
+    """A packet destined to a gated node wakes its router and is delivered."""
+    net = make_net()
+    gate(net, {27})
+    assert net.routers[27].state == PowerState.SLEEP
+    pkt = net.inject_packet(24, 27)
+    settle(net, 600)
+    assert pkt.eject_time > 0
+    # router woke to deliver, then (core still gated, idle) re-drains
+    settle(net, 600)
+    assert net.routers[27].state == PowerState.SLEEP
+
+
+def test_credit_snapshot_after_sleep():
+    """Upstream adopts the sleeper's credit view of the new downstream."""
+    net = make_net()
+    gate(net, {27})
+    r26 = net.routers[26]
+    depth = net.cfg.buffer_depth
+    assert r26.credits[Direction.EAST] == [depth] * net.cfg.total_vcs
+    check_all(net)
+
+
+def test_traffic_through_sleeping_router():
+    """Cardinal traffic flies over a sleeping router with 1-cycle latches."""
+    net = make_net()
+    gate(net, {27})
+    pkt = net.inject_packet(26, 28)
+    settle(net, 200)
+    assert pkt.eject_time > 0
+    assert pkt.flov_hops == 1
+    assert pkt.router_hops == 2
+    # 2 routers * 3 + 2 links + 1 latch + 3 serialization
+    assert pkt.network_latency == 6 + 2 + 1 + 3
+
+
+def test_fly_over_chain_gflov():
+    net = make_net("gflov")
+    gate(net, {25, 26, 27, 28, 29, 30}, cycles=2500)
+    pkt = net.inject_packet(24, 31)
+    settle(net, 300)
+    assert pkt.eject_time > 0
+    assert pkt.flov_hops == 6
+    assert pkt.router_hops == 2
+    assert pkt.network_latency == 6 + 7 + 6 + 3
+
+
+def test_wakeup_latency_configurable():
+    slow = make_net(wakeup_latency=200)
+    gate(slow, {27})
+    assert slow.routers[27].state == PowerState.SLEEP
+    pkt = slow.inject_packet(26, 27)
+    settle(slow, 150)
+    assert pkt.eject_time == -1  # still powering on
+    settle(slow, 400)
+    assert pkt.eject_time > 0
+
+
+def test_gating_events_and_static_energy_counted():
+    net = make_net()
+    gate(net, {27})
+    assert net.accountant.gating_events >= 1
+    assert net.accountant.n_flov_sleep == 1
+    rep = net.accountant.report(net.cycle)
+    assert rep.gating_j > 0
+    assert rep.static_j > 0
+
+
+def test_handshake_energy_counted():
+    net = make_net()
+    gate(net, {27})
+    assert net.accountant.handshake_hops > 0
+
+
+# ------------------------------------------------------ churn and stress
+
+@pytest.mark.parametrize("mech", ["rflov", "gflov"])
+def test_gating_churn_delivers_everything(mech):
+    """Epoch churn + traffic: every injected packet must be delivered and
+    all invariants must hold at quiescence."""
+    import random
+
+    from repro.gating.schedule import random_epochs
+    from repro.traffic import TrafficGenerator, get_pattern
+
+    cfg = NoCConfig(mechanism=mech)
+    net = Network(cfg)
+    net.set_gating(random_epochs(64, [0.3, 0.6, 0.1], [1500, 3000], seed=13))
+    gen = TrafficGenerator(net, get_pattern("uniform", cfg), 0.04, seed=13)
+    gen.run(4500)
+    for _ in range(3000):
+        net.step()
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    check_all(net)
+
+
+def test_all_but_aon_gated_gflov():
+    """Extreme case: every non-AON core gated; network must stay usable."""
+    net = make_net("gflov")
+    aon = {net.cfg.node_id(7, y) for y in range(8)}
+    gate(net, set(range(64)) - aon, cycles=4000)
+    sleeping = sum(r.state == PowerState.SLEEP for r in net.routers)
+    assert sleeping >= 50
+    # AON-to-AON traffic still flows
+    pkt = net.inject_packet(7, 63)
+    settle(net, 300)
+    assert pkt.eject_time > 0

@@ -1,0 +1,67 @@
+"""Behavioral checks of the PARSEC-like workload profiles: the traffic
+and gating opportunities they create must reflect their published
+characteristics (these distinctions drive the paper's Figure 8c/d)."""
+
+import pytest
+
+from repro.fullsystem import CmpSystem
+
+
+def run(bench, mech="baseline", instr=250, seed=6):
+    sys_ = CmpSystem(bench, mech, instructions_per_core=instr, seed=seed,
+                     noc_overrides={"width": 4, "height": 4})
+    res = sys_.run(max_cycles=150_000)
+    assert res.finished, bench
+    return sys_, res
+
+
+def test_canneal_misses_more_than_swaptions():
+    _, canneal = run("canneal")
+    _, swaptions = run("swaptions")
+    assert canneal.l1_miss_rate > swaptions.l1_miss_rate
+
+
+def test_sharing_profiles_order_coherence_traffic():
+    sys_c, _ = run("canneal")
+    sys_s, _ = run("swaptions")
+
+    def coherence(sys_):
+        return sum(c.l1.stats["invs"] + c.l1.stats["fwds"]
+                   for c in sys_.cores)
+
+    assert coherence(sys_c) > coherence(sys_s)
+
+
+def test_consolidation_fraction_sets_gating_opportunity():
+    sys_x, _ = run("x264")       # 50% threads
+    sys_b, _ = run("blackscholes")  # 100% threads
+    assert len(sys_x.phase_actives[0]) < len(sys_b.phase_actives[0])
+    gated_x = sys_x.net.gating.gated_at(0)
+    assert len(gated_x) == 16 - len(sys_x.phase_actives[0])
+
+
+def test_parallel_phase_then_serial_tail_gates():
+    # blackscholes uses every core in its parallel region; its serial
+    # tail consolidates, letting gFLOV gate the idled region
+    sys_b, res = run("blackscholes", mech="gflov")
+    assert len(sys_b.phase_actives[0]) == 16
+    assert res.sleeping_routers > 0
+
+
+def test_partial_parallelism_gates_with_gflov():
+    _, res = run("x264", mech="gflov")
+    assert res.sleeping_routers > 0
+
+
+def test_memory_intensity_orders_runtime():
+    """streamcluster (39% mem) must run longer than swaptions (22%) for
+    the same instruction count."""
+    _, sc = run("streamcluster")
+    _, sw = run("swaptions")
+    assert sc.runtime_cycles > sw.runtime_cycles
+
+
+def test_network_packets_scale_with_miss_traffic():
+    _, canneal = run("canneal")
+    _, black = run("blackscholes")
+    assert canneal.packets > black.packets

@@ -1,0 +1,173 @@
+"""MESI protocol unit tests: drive the directory and L1 controllers
+through individual transactions on a tiny system and check every state
+transition (read-share, exclusive, upgrade-with-invalidations,
+ownership transfer, writeback, races)."""
+
+import pytest
+
+from repro.fullsystem import CmpSystem
+from repro.fullsystem.mesi import DirState, Kind, L1State
+
+
+def make_sys():
+    sys_ = CmpSystem("swaptions", "baseline", instructions_per_core=0,
+                     seed=1, noc_overrides={"width": 4, "height": 4})
+    # silence the cores: we drive accesses by hand
+    for c in sys_.cores:
+        c.active = False
+    return sys_
+
+
+def settle(sys_, cycles=400):
+    for _ in range(cycles):
+        sys_.step()
+
+
+LINE = 0x42
+
+
+def home_of(sys_, line=LINE):
+    return sys_.amap.home_of(line)
+
+
+def test_load_miss_gets_exclusive():
+    sys_ = make_sys()
+    l1 = sys_.cores[5].l1
+    assert l1.access(LINE, is_write=False) is False
+    settle(sys_)
+    assert l1.cache.get(LINE) == L1State.E
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state == DirState.M and e.owner == 5
+
+
+def test_second_reader_downgrades_to_shared():
+    sys_ = make_sys()
+    sys_.cores[5].l1.access(LINE, False)
+    settle(sys_)
+    sys_.cores[9].l1.access(LINE, False)
+    settle(sys_)
+    assert sys_.cores[5].l1.cache.get(LINE) == L1State.S
+    assert sys_.cores[9].l1.cache.get(LINE) == L1State.S
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state == DirState.S
+    assert e.sharers >= {5, 9}
+
+
+def test_store_miss_gets_modified():
+    sys_ = make_sys()
+    l1 = sys_.cores[5].l1
+    l1.access(LINE, True)
+    settle(sys_)
+    assert l1.cache.get(LINE) == L1State.M
+
+
+def test_store_hit_on_exclusive_silent_upgrade():
+    sys_ = make_sys()
+    l1 = sys_.cores[5].l1
+    l1.access(LINE, False)
+    settle(sys_)
+    assert l1.cache.get(LINE) == L1State.E
+    assert l1.access(LINE, True) is True  # E -> M without traffic
+    assert l1.cache.get(LINE) == L1State.M
+
+
+def test_upgrade_invalidates_sharers():
+    sys_ = make_sys()
+    for node in (5, 9, 10):
+        sys_.cores[node].l1.access(LINE, False)
+        settle(sys_)
+    assert sys_.cores[5].l1.access(LINE, True) is False  # upgrade
+    settle(sys_)
+    assert sys_.cores[5].l1.cache.get(LINE) == L1State.M
+    assert sys_.cores[9].l1.cache.get(LINE) is None
+    assert sys_.cores[10].l1.cache.get(LINE) is None
+    assert sys_.cores[9].l1.stats["invs"] >= 1
+
+
+def test_ownership_transfer_between_writers():
+    sys_ = make_sys()
+    sys_.cores[5].l1.access(LINE, True)
+    settle(sys_)
+    sys_.cores[9].l1.access(LINE, True)
+    settle(sys_)
+    assert sys_.cores[9].l1.cache.get(LINE) == L1State.M
+    assert sys_.cores[5].l1.cache.get(LINE) is None
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state == DirState.M and e.owner == 9
+    assert sys_.cores[5].l1.stats["fwds"] == 1
+
+
+def test_read_after_write_forwards_from_owner():
+    sys_ = make_sys()
+    sys_.cores[5].l1.access(LINE, True)
+    settle(sys_)
+    sys_.cores[9].l1.access(LINE, False)
+    settle(sys_)
+    assert sys_.cores[5].l1.cache.get(LINE) == L1State.S
+    assert sys_.cores[9].l1.cache.get(LINE) == L1State.S
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state == DirState.S
+
+
+def test_dirty_eviction_writes_back():
+    sys_ = make_sys()
+    l1 = sys_.cores[5].l1
+    l1.access(LINE, True)
+    settle(sys_)
+    # force-evict by filling the set
+    nsets = l1.cache.num_sets
+    victims = [LINE + nsets * (i + 1) for i in range(4)]
+    for v in victims:
+        l1.access(v, False)
+        settle(sys_)
+    assert l1.cache.get(LINE) is None
+    settle(sys_)
+    assert not l1.wb_pending
+    home = sys_.dirs[home_of(sys_)]
+    assert home.entries[LINE].state == DirState.I
+    assert home.stats["putm"] >= 1
+    # re-read comes from the L2 copy, not memory
+    fetches = home.stats["mem_fetch"]
+    sys_.cores[9].l1.access(LINE, False)
+    settle(sys_)
+    assert home.stats["mem_fetch"] == fetches
+
+
+def test_memory_fetch_on_cold_miss():
+    sys_ = make_sys()
+    sys_.cores[5].l1.access(LINE, False)
+    settle(sys_)
+    home = sys_.dirs[home_of(sys_)]
+    assert home.stats["mem_fetch"] == 1
+    mc = sys_.mcs_ctl[sys_.amap.mc_of(LINE)]
+    assert mc.reads == 1
+
+
+def test_busy_directory_queues_requests():
+    sys_ = make_sys()
+    sys_.cores[5].l1.access(LINE, True)
+    settle(sys_)
+    # two new writers race; the directory serializes them
+    sys_.cores[9].l1.access(LINE, True)
+    sys_.cores[10].l1.access(LINE, True)
+    settle(sys_, 800)
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state == DirState.M
+    assert e.owner in (9, 10)
+    owner = e.owner
+    other = 9 if owner == 10 else 10
+    assert sys_.cores[owner].l1.cache.get(LINE) == L1State.M
+    assert sys_.cores[other].l1.cache.get(LINE) is None
+    assert not e.pending
+
+
+def test_concurrent_readers_storm():
+    sys_ = make_sys()
+    for node in range(12):
+        sys_.cores[node].l1.access(LINE, False)
+    settle(sys_, 1500)
+    e = sys_.dirs[home_of(sys_)].entries[LINE]
+    assert e.state in (DirState.S, DirState.M)
+    holders = sum(sys_.cores[n].l1.cache.get(LINE) is not None
+                  for n in range(12))
+    assert holders == 12

@@ -1,0 +1,37 @@
+"""Overhead-analysis module tests (paper SS V-A structure)."""
+
+from repro.config import NoCConfig
+from repro.power.overhead import flov_overhead_report
+
+
+def test_report_structure_matches_paper():
+    rep = flov_overhead_report(NoCConfig())
+    assert rep.latch_bits == 4 * 128
+    assert rep.mux_count == 4 and rep.demux_count == 4
+    assert rep.psr_bits == 16
+    assert rep.hsc_wires_per_neighbor == 6
+    assert rep.fsm_states == 4
+
+
+def test_power_fraction_near_three_percent():
+    rep = flov_overhead_report(NoCConfig())
+    assert 0.01 < rep.power_overhead_fraction < 0.06
+    assert rep.power_overhead_w > 0
+
+
+def test_area_scales_with_fraction():
+    rep = flov_overhead_report(NoCConfig())
+    expected = 2.8e-3 * rep.power_overhead_fraction / 0.03
+    assert abs(rep.area_mm2 - expected) < 1e-9
+
+
+def test_render_is_readable():
+    text = flov_overhead_report(NoCConfig()).render()
+    assert "PSRs" in text and "HSC" in text and "mm^2" in text
+
+
+def test_wider_flits_cost_more_latch_power():
+    narrow = flov_overhead_report(NoCConfig(flit_width_bytes=8))
+    wide = flov_overhead_report(NoCConfig(flit_width_bytes=32))
+    assert wide.power_overhead_w > narrow.power_overhead_w
+    assert wide.latch_bits == 4 * 256

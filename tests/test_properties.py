@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis): invariants that must survive any
+traffic pattern, gating schedule, and mechanism."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import NoCConfig, Network
+from repro.gating.schedule import EpochGating
+from repro.noc.validation import (check_all, credit_conservation_violations,
+                                  pointer_coherence_violations,
+                                  wormhole_violations)
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.data_too_large])
+
+MECH = st.sampled_from(["baseline", "rflov", "gflov", "rp", "nord"])
+
+
+@SLOW
+@given(mech=MECH,
+       seed=st.integers(0, 10_000),
+       gated=st.sets(st.integers(0, 35), max_size=14),
+       npackets=st.integers(1, 40))
+def test_every_packet_delivered(mech, seed, gated, npackets):
+    """Whatever the gating set, all packets between active nodes arrive,
+    and the quiescent network satisfies the structural invariants."""
+    cfg = NoCConfig(width=6, height=6, mechanism=mech)
+    net = Network(cfg)
+    net.set_gating(EpochGating([(0, frozenset(gated))]))
+    for _ in range(400):
+        net.step()
+    rng = random.Random(seed)
+    active = [n for n in range(cfg.num_routers) if n not in gated]
+    for _ in range(npackets):
+        s, d = rng.choice(active), rng.choice(active)
+        net.inject_packet(s, d)
+    for _ in range(6_000):
+        net.step()
+        if (net.stats.packets_ejected == net.stats.packets_injected
+                and net.network_drained()):
+            break
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert not wormhole_violations(net)
+    if mech in ("baseline", "rflov", "gflov"):
+        assert not credit_conservation_violations(net)
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000),
+       fractions=st.lists(st.floats(0.0, 0.8), min_size=2, max_size=4))
+def test_gflov_pointer_coherence_after_churn(seed, fractions):
+    """After arbitrary gating churn and quiescence, every logical pointer
+    names the true nearest powered router."""
+    from repro.gating.schedule import random_epochs
+
+    cfg = NoCConfig(width=6, height=6, mechanism="gflov")
+    net = Network(cfg)
+    bounds = [600 * (i + 1) for i in range(len(fractions) - 1)]
+    net.set_gating(random_epochs(cfg.num_routers, fractions, bounds,
+                                 seed=seed))
+    for _ in range(600 * len(fractions) + 3_000):
+        net.step()
+    assert pointer_coherence_violations(net) == []
+    check_all(net)
+
+
+@SLOW
+@given(mech=st.sampled_from(["rflov", "gflov"]),
+       seed=st.integers(0, 10_000))
+def test_flov_wake_sleep_roundtrip(mech, seed):
+    """Gate everything, wake everything: the network must return to a
+    fully-powered, invariant-clean state."""
+    from repro.core.power_fsm import PowerState
+
+    cfg = NoCConfig(width=5, height=5, mechanism=mech)
+    net = Network(cfg)
+    rng = random.Random(seed)
+    gated = frozenset(rng.sample(range(25), 12))
+    net.set_gating(EpochGating([(0, gated), (1_500, frozenset())]))
+    for _ in range(4_500):
+        net.step()
+    assert all(r.state == PowerState.ACTIVE for r in net.routers)
+    assert pointer_coherence_violations(net) == []
+    # credits must be back at full everywhere
+    depth = cfg.buffer_depth
+    for r in net.routers:
+        for d in r.mesh_ports:
+            assert r.credits[d] == [depth] * cfg.total_vcs, (r.node, d)

@@ -1,0 +1,257 @@
+"""Unit tests for the FLOV dynamic routing and escape routing, using a
+synthetic RouterView with scriptable power states (paper Figure 5)."""
+
+import pytest
+
+from repro.core.power_fsm import PowerState
+from repro.core.routing import (FORBIDDEN_ESCAPE_TURNS, Hold, Route,
+                                escape_route, escape_turn_legal, flov_route)
+from repro.noc.types import DIR_DELTA, Direction
+
+W = H = 8
+
+
+class FakeView:
+    """RouterView over an 8x8 mesh with an explicit sleeping set."""
+
+    def __init__(self, x, y, sleeping=(), transitioning=(), aon=W - 1):
+        self.x, self.y = x, y
+        self.node = y * W + x
+        self.aon_column = aon
+        self.sleeping = set(sleeping)
+        self.transitioning = dict(transitioning)  # node -> PowerState
+
+    def _state_of(self, node):
+        if node in self.transitioning:
+            return self.transitioning[node]
+        return PowerState.SLEEP if node in self.sleeping else PowerState.ACTIVE
+
+    def has_neighbor(self, d):
+        dx, dy = DIR_DELTA[d]
+        return 0 <= self.x + dx < W and 0 <= self.y + dy < H
+
+    def _neighbor(self, d):
+        dx, dy = DIR_DELTA[d]
+        return (self.y + dy) * W + (self.x + dx)
+
+    def neighbor_state(self, d):
+        if not self.has_neighbor(d):
+            return None
+        return self._state_of(self._neighbor(d))
+
+    def logical_neighbor(self, d):
+        dx, dy = DIR_DELTA[d]
+        x, y = self.x + dx, self.y + dy
+        while 0 <= x < W and 0 <= y < H:
+            node = y * W + x
+            st = self._state_of(node)
+            if st in (PowerState.ACTIVE, PowerState.DRAINING,
+                      PowerState.WAKEUP):
+                return node
+            x += dx
+            y += dy
+        return None
+
+    def logical_state(self, d):
+        ln = self.logical_neighbor(d)
+        return None if ln is None else self._state_of(ln)
+
+    def distance_along(self, d, node):
+        nx, ny = node % W, node // W
+        dx, dy = DIR_DELTA[d]
+        if dx != 0:
+            if ny != self.y:
+                return None
+            dist = (nx - self.x) * dx
+        else:
+            if nx != self.x:
+                return None
+            dist = (ny - self.y) * dy
+        return dist if dist > 0 else None
+
+
+def node(x, y):
+    return y * W + x
+
+
+def route(view, dx, dy, in_dir=Direction.LOCAL):
+    return flov_route(view, dx, dy, node(dx, dy), in_dir)
+
+
+# ------------------------------------------------------------ basic routing
+
+def test_eject_at_destination():
+    v = FakeView(3, 3)
+    assert route(v, 3, 3) == Route(Direction.LOCAL)
+
+
+def test_cardinal_all_on():
+    v = FakeView(3, 3)
+    assert route(v, 3, 6) == Route(Direction.NORTH)
+    assert route(v, 0, 3) == Route(Direction.WEST)
+    assert route(v, 3, 0) == Route(Direction.SOUTH)
+    assert route(v, 6, 3) == Route(Direction.EAST)
+
+
+def test_quadrant_prefers_y_first():
+    """YX routing preference when the Y neighbor is powered on."""
+    v = FakeView(3, 3)
+    assert route(v, 5, 5) == Route(Direction.NORTH)
+    assert route(v, 1, 1) == Route(Direction.SOUTH)
+
+
+def test_quadrant_falls_to_x_when_y_gated():
+    v = FakeView(3, 3, sleeping={node(3, 4)})
+    assert route(v, 5, 5) == Route(Direction.EAST)
+    v2 = FakeView(3, 3, sleeping={node(3, 4)})
+    assert route(v2, 1, 5) == Route(Direction.WEST)
+
+
+def test_quadrant_both_gated_goes_east():
+    """Figure 5(c): both turn candidates gated -> toward the AON column."""
+    v = FakeView(3, 3, sleeping={node(3, 4), node(2, 3)})
+    assert route(v, 1, 5) == Route(Direction.EAST)
+
+
+def test_quadrant_no_backtrack_east():
+    """A packet that arrived from the East may not be sent back East."""
+    v = FakeView(3, 3, sleeping={node(3, 4), node(2, 3)})
+    assert route(v, 1, 5, in_dir=Direction.EAST) == Hold()
+
+
+def test_cardinal_fly_over_sleeping():
+    """Paper: cardinal packets use FLOV links over power-gated routers."""
+    v = FakeView(3, 3, sleeping={node(4, 3), node(5, 3)})
+    assert route(v, 6, 3) == Route(Direction.EAST)
+
+
+def test_cardinal_sleeping_destination_holds_and_wakes():
+    """The *nearest powered* router before a sleeping destination holds the
+    packet and requests the wakeup; farther routers forward normally."""
+    v_far = FakeView(3, 3, sleeping={node(5, 3)})
+    assert route(v_far, 5, 3) == Route(Direction.EAST)
+    v_adjacent = FakeView(4, 3, sleeping={node(5, 3)})
+    assert route(v_adjacent, 5, 3) == Hold(wake_target=node(5, 3))
+
+
+def test_cardinal_sleeping_dest_behind_sleepers():
+    v = FakeView(3, 3, sleeping={node(4, 3), node(5, 3)})
+    assert route(v, 5, 3) == Hold(wake_target=node(5, 3))
+
+
+def test_cardinal_whole_line_asleep_dest_at_end():
+    v = FakeView(3, 3, sleeping={node(3, y) for y in range(4, 8)})
+    assert route(v, 3, 7) == Hold(wake_target=node(3, 7))
+
+
+def test_draining_neighbor_blocks_new_packets():
+    v = FakeView(3, 3, transitioning={node(4, 3): PowerState.DRAINING})
+    assert route(v, 6, 3) == Hold()
+
+
+def test_wakeup_neighbor_blocks_new_packets():
+    v = FakeView(3, 3, transitioning={node(4, 3): PowerState.WAKEUP})
+    assert route(v, 6, 3) == Hold()
+
+
+def test_sleep_with_waking_logical_neighbor_blocks():
+    v = FakeView(3, 3, sleeping={node(4, 3)},
+                 transitioning={node(5, 3): PowerState.WAKEUP})
+    assert route(v, 7, 3) == Hold()
+
+
+def test_quadrant_draining_y_treated_as_unavailable():
+    v = FakeView(3, 3, transitioning={node(3, 4): PowerState.DRAINING})
+    assert route(v, 5, 5) == Route(Direction.EAST)
+
+
+def test_aon_column_always_turns():
+    """In the AON column the Y neighbor is always powered."""
+    v = FakeView(7, 3)
+    assert route(v, 2, 5) == Route(Direction.NORTH)
+
+
+# --------------------------------------------------------- paper Figure 5
+
+def test_figure5a_cardinal_east_over_gated():
+    """Fig 5(a): dest in partition 7, next router gated -> East anyway."""
+    v = FakeView(1, 1, sleeping={node(2, 1)})
+    assert route(v, 3, 1) == Route(Direction.EAST)
+
+
+def test_figure5b_quadrant_y_gated():
+    """Fig 5(b): dest in partition 6, Y gated -> X (powered) hop."""
+    v = FakeView(1, 2, sleeping={node(1, 1)})
+    assert route(v, 2, 0) == Route(Direction.EAST)
+
+
+def test_figure5c_chain():
+    """Fig 5(c): successive decisions across gated routers reach the AON
+    column and turn there."""
+    sleeping = {node(1, 2), node(0, 1), node(2, 1)}
+    # at (1,1): dest NW quadrant (0,2): Y=N gated, X=W gated -> East
+    v = FakeView(1, 1, sleeping=sleeping)
+    assert route(v, 0, 2) == Route(Direction.EAST)
+    # next powered router east must not bounce it back west
+    v2 = FakeView(3, 1, sleeping=sleeping | {node(3, 2)})
+    dec = flov_route(v2, 0, 2, node(0, 2), Direction.WEST)
+    assert isinstance(dec, Route)
+    assert dec.out_dir != Direction.WEST
+
+
+# ------------------------------------------------------------ escape routes
+
+def test_escape_cardinal_straight():
+    v = FakeView(3, 3)
+    assert escape_route(v, 3, 6, node(3, 6)) == Route(Direction.NORTH)
+    assert escape_route(v, 6, 3, node(6, 3)) == Route(Direction.EAST)
+
+
+def test_escape_quadrant_heads_east():
+    v = FakeView(3, 3)
+    assert escape_route(v, 1, 5, node(1, 5)) == Route(Direction.EAST)
+    assert escape_route(v, 5, 1, node(5, 1)) == Route(Direction.EAST)
+
+
+def test_escape_turns_at_aon_column():
+    v = FakeView(7, 3)
+    assert escape_route(v, 2, 5, node(2, 5)) == Route(Direction.NORTH)
+    assert escape_route(v, 2, 1, node(2, 1)) == Route(Direction.SOUTH)
+
+
+def test_escape_turn_model():
+    assert not escape_turn_legal(Direction.NORTH, Direction.EAST)
+    assert not escape_turn_legal(Direction.WEST, Direction.NORTH)
+    assert escape_turn_legal(Direction.EAST, Direction.NORTH)
+    assert escape_turn_legal(Direction.NORTH, Direction.WEST)
+    assert escape_turn_legal(Direction.LOCAL, Direction.EAST)
+    assert len(FORBIDDEN_ESCAPE_TURNS) == 4
+
+
+def test_escape_route_follows_turn_model_everywhere():
+    """Simulate the escape route hop by hop on an all-on mesh: the turn
+    sequence must satisfy the E -> N/S -> W ordering for every pair."""
+    for sx in range(W):
+        for sy in range(H):
+            for dx in range(W):
+                for dy in range(H):
+                    if (sx, sy) == (dx, dy):
+                        continue
+                    x, y = sx, sy
+                    prev_dir = None
+                    for _ in range(4 * W):
+                        v = FakeView(x, y)
+                        dec = escape_route(v, dx, dy, node(dx, dy))
+                        assert isinstance(dec, Route)
+                        d = dec.out_dir
+                        if d == Direction.LOCAL:
+                            break
+                        if prev_dir is not None:
+                            assert escape_turn_legal(prev_dir, d), (
+                                (sx, sy, dx, dy, prev_dir, d))
+                        ddx, ddy = DIR_DELTA[d]
+                        x, y = x + ddx, y + ddy
+                        prev_dir = d
+                    else:
+                        pytest.fail(f"escape did not converge {sx},{sy}->{dx},{dy}")
+                    assert (x, y) == (dx, dy)
