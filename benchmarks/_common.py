@@ -30,6 +30,28 @@ FS_MAX_CYCLES = 2_000_000 if FULL else 250_000
 MECHANISMS = ("baseline", "rp", "rflov", "gflov")
 
 
+def _progress(done: int, total: int, task, result, from_cache: bool) -> None:
+    tag = "cache" if from_cache else "run"
+    print(f"[{done}/{total}] {tag} {getattr(task, 'mechanism', task)}",
+          file=sys.stderr)
+
+
+def make_engine(**kwargs):
+    """Shared parallel engine for every benchmark.
+
+    Auto worker count (``REPRO_JOBS`` override), on-disk result cache
+    (bypass with ``REPRO_NO_CACHE=1``) — so a full figure regeneration
+    saturates the machine on first run and replays from cache afterwards.
+    """
+    from repro.harness import ParallelSweep
+    kwargs.setdefault("progress", _progress)
+    return ParallelSweep(**kwargs)
+
+
+#: engine shared by all benchmarks in one pytest session
+ENGINE = make_engine()
+
+
 def banner(name: str, caption: str) -> None:
     print()
     print("=" * 72)

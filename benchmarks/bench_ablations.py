@@ -9,9 +9,9 @@
   centralized FM).
 """
 
-from _common import FULL, banner
+from _common import ENGINE, FULL, banner
 
-from repro.harness import run_synthetic
+from repro.harness import SweepTask
 
 MEASURE = 30_000 if FULL else 5_000
 WARMUP = 3_000 if FULL else 1_000
@@ -23,17 +23,17 @@ def test_ablation_wakeup_latency(benchmark):
 
     def run():
         from repro.gating.schedule import random_epochs
-        out = {}
         period = max(MEASURE // 6, 500)
-        for wl in (5, 10, 20, 50, 100):
-            bounds = [period * (i + 1) for i in range(5)]
-            sched = random_epochs(64, [0.5, 0.2, 0.5, 0.3, 0.5, 0.2],
-                                  bounds, seed=11)
-            r = run_synthetic("gflov", rate=0.02, schedule=sched,
-                              wakeup_latency=wl, warmup=0,
-                              measure=WARMUP + MEASURE, seed=11)
-            out[wl] = r
-        return out
+        bounds = [period * (i + 1) for i in range(5)]
+        wls = (5, 10, 20, 50, 100)
+        tasks = [SweepTask("gflov", rate=0.02,
+                           schedule=random_epochs(
+                               64, [0.5, 0.2, 0.5, 0.3, 0.5, 0.2],
+                               bounds, seed=11),
+                           warmup=0, measure=WARMUP + MEASURE, seed=11,
+                           overrides={"wakeup_latency": wl})
+                 for wl in wls]
+        return dict(zip(wls, ENGINE.run(tasks)))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'wakeup_latency':>15} {'avg_latency':>12} {'gating_events':>14}")
@@ -48,10 +48,12 @@ def test_ablation_escape_timeout(benchmark):
     banner("Ablation A2", "gFLOV latency vs. escape timeout (40% gated)")
 
     def run():
-        return {to: run_synthetic("gflov", rate=0.02, gated_fraction=0.4,
-                                  escape_timeout=to, warmup=WARMUP,
-                                  measure=MEASURE, seed=11)
-                for to in (8, 16, 32, 64, 128)}
+        tos = (8, 16, 32, 64, 128)
+        tasks = [SweepTask("gflov", rate=0.02, gated_fraction=0.4,
+                           warmup=WARMUP, measure=MEASURE, seed=11,
+                           overrides={"escape_timeout": to})
+                 for to in tos]
+        return dict(zip(tos, ENGINE.run(tasks)))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'escape_timeout':>15} {'avg_latency':>12} {'escaped':>9}")
@@ -65,16 +67,14 @@ def test_ablation_mesh_size(benchmark):
     banner("Ablation A3", "gFLOV vs Baseline static power across mesh sizes")
 
     def run():
-        out = {}
-        for k in (4, 6, 8, 12):
-            base = run_synthetic("baseline", rate=0.02, gated_fraction=0.5,
-                                 width=k, height=k, warmup=WARMUP // 2,
-                                 measure=MEASURE // 2, seed=11)
-            g = run_synthetic("gflov", rate=0.02, gated_fraction=0.5,
-                              width=k, height=k, warmup=WARMUP // 2,
-                              measure=MEASURE // 2, seed=11)
-            out[k] = (base, g)
-        return out
+        ks = (4, 6, 8, 12)
+        tasks = [SweepTask(mech, rate=0.02, gated_fraction=0.5,
+                           warmup=WARMUP // 2, measure=MEASURE // 2, seed=11,
+                           overrides={"width": k, "height": k})
+                 for k in ks for mech in ("baseline", "gflov")]
+        results = ENGINE.run(tasks)
+        return {k: (results[2 * i], results[2 * i + 1])
+                for i, k in enumerate(ks)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'mesh':>6} {'base_static_mW':>15} {'gflov_static_mW':>16} "
@@ -94,12 +94,12 @@ def test_ablation_rp_policy(benchmark):
     banner("Ablation A4", "RP parking policy: aggressive vs adaptive")
 
     def run():
-        out = {}
-        for policy in ("aggressive", "adaptive"):
-            out[policy] = run_synthetic("rp", rate=0.08, gated_fraction=0.5,
-                                        rp_policy=policy, warmup=WARMUP,
-                                        measure=MEASURE, seed=17)
-        return out
+        policies = ("aggressive", "adaptive")
+        tasks = [SweepTask("rp", rate=0.08, gated_fraction=0.5,
+                           warmup=WARMUP, measure=MEASURE, seed=17,
+                           overrides={"rp_policy": policy})
+                 for policy in policies]
+        return dict(zip(policies, ENGINE.run(tasks)))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'policy':>12} {'latency':>9} {'static mW':>10} {'parked':>7}")
@@ -122,7 +122,7 @@ def test_ablation_saturation(benchmark):
         return sweep_rates(["baseline", "gflov"],
                            rates=(0.05, 0.15, 0.25),
                            gated_fraction=0.4, warmup=WARMUP // 2,
-                           measure=MEASURE // 2, seed=17)
+                           measure=MEASURE // 2, seed=17, engine=ENGINE)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'rate':>6} {'baseline lat':>13} {'gflov lat':>10} "

@@ -7,25 +7,29 @@ for the >700-cycle Phase I at every change, producing latency spikes in
 the timeline; gFLOV reconfigures in a distributed fashion and stays flat.
 """
 
-from _common import FULL, banner
+from _common import ENGINE, FULL, banner
 
 from repro.gating.schedule import random_epochs
-from repro.harness import run_synthetic, timeline_table
+from repro.harness import SweepTask, timeline_table
 
 TOTAL = 100_000 if FULL else 20_000
 CHANGE1, CHANGE2 = TOTAL // 2, int(TOTAL * 0.6)
 WINDOW = TOTAL // 40
 
+MECHS = ("rp", "gflov")
+
 
 def _run():
     series = {}
     peaks = {}
-    for mech in ("rp", "gflov"):
-        sched = random_epochs(64, [0.10, 0.10, 0.10], [CHANGE1, CHANGE2],
-                              seed=9)
-        res = run_synthetic(mech, pattern="uniform", rate=0.02,
-                            schedule=sched, warmup=0, measure=TOTAL,
-                            keep_samples=True, seed=9)
+    # schedule-carrying tasks are uncacheable but still fan out in the pool
+    tasks = [SweepTask(mech, pattern="uniform", rate=0.02,
+                       schedule=random_epochs(64, [0.10, 0.10, 0.10],
+                                              [CHANGE1, CHANGE2], seed=9),
+                       warmup=0, measure=TOTAL, keep_samples=True, seed=9)
+             for mech in MECHS]
+    results = ENGINE.run(tasks)
+    for mech, res in zip(MECHS, results):
         from repro.noc.stats import StatsCollector
         sc = StatsCollector(3, keep_samples=True)
         sc.samples = res.samples

@@ -7,14 +7,15 @@ RP converges toward FLOV at high fractions; gFLOV has the lowest total
 power everywhere; RP suffers more at the 0.08 rate.
 """
 
-from _common import FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
+from _common import ENGINE, FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
 
 from repro.harness import line_chart, series_table, sweep_fractions
 
 
 def _run(rate: float):
     return sweep_fractions(MECHANISMS, FRACTIONS, pattern="uniform",
-                           rate=rate, warmup=WARMUP, measure=MEASURE)
+                           rate=rate, warmup=WARMUP, measure=MEASURE,
+                           engine=ENGINE)
 
 
 def _report(series, rate: float) -> None:

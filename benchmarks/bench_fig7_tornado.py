@@ -7,14 +7,15 @@ even beat the all-on Baseline's latency; gFLOV keeps the lowest total
 power.
 """
 
-from _common import FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
+from _common import ENGINE, FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
 
 from repro.harness import line_chart, series_table, sweep_fractions
 
 
 def _run(rate: float):
     return sweep_fractions(MECHANISMS, FRACTIONS, pattern="tornado",
-                           rate=rate, warmup=WARMUP, measure=MEASURE)
+                           rate=rate, warmup=WARMUP, measure=MEASURE,
+                           engine=ENGINE)
 
 
 def _report(series, rate: float) -> None:

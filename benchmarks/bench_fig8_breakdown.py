@@ -9,7 +9,7 @@ gated fraction under Uniform Random and stays small under Tornado
 (row-local traffic, AON column powered).
 """
 
-from _common import FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
+from _common import ENGINE, FRACTIONS, MEASURE, MECHANISMS, WARMUP, banner
 
 from repro.harness import breakdown_table, sweep_fractions
 
@@ -17,7 +17,7 @@ from repro.harness import breakdown_table, sweep_fractions
 def _run(pattern: str):
     fr = [f for f in FRACTIONS if f in (0.0, 0.2, 0.4, 0.6, 0.8)]
     return sweep_fractions(MECHANISMS, fr, pattern=pattern, rate=0.02,
-                           warmup=WARMUP, measure=MEASURE)
+                           warmup=WARMUP, measure=MEASURE, engine=ENGINE)
 
 
 def test_fig8a_uniform_breakdown(benchmark):

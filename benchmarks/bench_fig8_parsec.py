@@ -10,7 +10,7 @@ Our substrate is synthetic, so we assert the *shape*: large static
 savings vs Baseline, additional savings vs RP, small runtime penalty.
 """
 
-from _common import FS_INSTRUCTIONS, FS_MAX_CYCLES, banner
+from _common import ENGINE, FS_INSTRUCTIONS, FS_MAX_CYCLES, banner
 
 from repro.fullsystem import PARSEC, CmpSystem
 from repro.harness import normalized_table
@@ -18,14 +18,17 @@ from repro.harness import normalized_table
 MECHS = ("baseline", "rp", "rflov", "gflov")
 
 
+def _run_one(pair):
+    """Module-level worker so the (bench, mech) grid fans out in the pool."""
+    bench, mech = pair
+    system = CmpSystem(bench, mech,
+                       instructions_per_core=FS_INSTRUCTIONS, seed=5)
+    return system.run(max_cycles=FS_MAX_CYCLES)
+
+
 def _run():
-    results = {}
-    for bench in PARSEC:
-        for mech in MECHS:
-            system = CmpSystem(bench, mech,
-                               instructions_per_core=FS_INSTRUCTIONS, seed=5)
-            results[(bench, mech)] = system.run(max_cycles=FS_MAX_CYCLES)
-    return results
+    pairs = [(bench, mech) for bench in PARSEC for mech in MECHS]
+    return dict(zip(pairs, ENGINE.map_callable(_run_one, pairs)))
 
 
 def test_fig8cd_parsec_energy_and_runtime(benchmark):

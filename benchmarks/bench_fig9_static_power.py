@@ -10,20 +10,15 @@ fractions gFLOV < RP < rFLOV; the gFLOV/RP gap widens with the
 fraction; rFLOV saturates near half the routers gated.
 """
 
-from _common import FRACTIONS, MECHANISMS, banner
+from _common import ENGINE, FRACTIONS, MECHANISMS, banner
 
-from repro.harness import line_chart, run_synthetic, series_table
+from repro.harness import line_chart, series_table, sweep_fractions
 
 
 def _run():
-    series = {}
-    for mech in MECHANISMS:
-        series[mech] = [
-            run_synthetic(mech, pattern="uniform", rate=0.02,
-                          gated_fraction=f, warmup=1_000, measure=4_000,
-                          rp_policy="aggressive")
-            for f in FRACTIONS]
-    return series
+    return sweep_fractions(MECHANISMS, FRACTIONS, pattern="uniform",
+                           rate=0.02, warmup=1_000, measure=4_000,
+                           rp_policy="aggressive", engine=ENGINE)
 
 
 def test_fig9_static_power(benchmark):

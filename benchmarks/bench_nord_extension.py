@@ -7,22 +7,23 @@ for traffic involving gated regions, growing with the mesh size while
 FLOV's fly-over latency stays per-hop.
 """
 
-from _common import MEASURE, WARMUP, banner
+from _common import ENGINE, MEASURE, WARMUP, banner
 
-from repro.harness import run_synthetic
+from repro.harness import SweepTask
 
 
 def test_nord_vs_gflov(benchmark):
     banner("Extension", "NoRD-style ring vs. gFLOV (uniform @ 0.02)")
 
     def run():
-        out = {}
-        for mech in ("gflov", "nord"):
-            out[mech] = {
-                frac: run_synthetic(mech, rate=0.02, gated_fraction=frac,
-                                    warmup=WARMUP, measure=MEASURE, seed=13)
-                for frac in (0.2, 0.4, 0.6)}
-        return out
+        mechs, fracs = ("gflov", "nord"), (0.2, 0.4, 0.6)
+        tasks = [SweepTask(mech, rate=0.02, gated_fraction=frac,
+                           warmup=WARMUP, measure=MEASURE, seed=13)
+                 for mech in mechs for frac in fracs]
+        results = ENGINE.run(tasks)
+        return {mech: dict(zip(fracs,
+                               results[i * len(fracs):(i + 1) * len(fracs)]))
+                for i, mech in enumerate(mechs)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'gated%':>7} {'gflov lat':>10} {'nord lat':>9} "
@@ -41,14 +42,15 @@ def test_nord_ring_scaling(benchmark):
     banner("Extension", "ring-latency scaling: NoRD vs gFLOV, 20% gated")
 
     def run():
-        out = {}
-        for k in (4, 8, 12):
-            out[k] = {
-                mech: run_synthetic(mech, rate=0.02, gated_fraction=0.2,
-                                    width=k, height=k, warmup=WARMUP // 2,
-                                    measure=MEASURE // 2, seed=13)
-                for mech in ("gflov", "nord")}
-        return out
+        ks, mechs = (4, 8, 12), ("gflov", "nord")
+        tasks = [SweepTask(mech, rate=0.02, gated_fraction=0.2,
+                           warmup=WARMUP // 2, measure=MEASURE // 2, seed=13,
+                           overrides={"width": k, "height": k})
+                 for k in ks for mech in mechs]
+        results = ENGINE.run(tasks)
+        return {k: {mech: results[i * len(mechs) + j]
+                    for j, mech in enumerate(mechs)}
+                for i, k in enumerate(ks)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"{'mesh':>6} {'gflov lat':>10} {'nord lat':>9} {'ratio':>7}")

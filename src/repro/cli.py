@@ -90,13 +90,30 @@ def cmd_synthetic(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .harness import series_table, sweep_fractions
+    from .harness import ParallelSweep, series_table, sweep_fractions
 
     mechs = args.mechanisms.split(",")
     fracs = [float(f) for f in args.fractions.split(",")]
+
+    def progress(done: int, total: int, task, result,
+                 from_cache: bool) -> None:
+        tag = "cache" if from_cache else "run"
+        print(f"\r[{done}/{total}] {tag:>5} {task.mechanism:>8} "
+              f"gated={task.gated_fraction:.1f}", end="", file=sys.stderr)
+        if done == total:
+            print(file=sys.stderr)
+
+    engine = ParallelSweep(args.jobs, use_cache=not args.no_cache,
+                           progress=progress if args.verbose else None)
     series = sweep_fractions(mechs, fracs, pattern=args.pattern,
                              rate=args.rate, seed=args.seed,
-                             warmup=args.warmup, measure=args.measure)
+                             warmup=args.warmup, measure=args.measure,
+                             engine=engine)
+    print(f"sweep: {len(mechs) * len(fracs)} tasks, "
+          f"{engine.last_cache_hits} cache hits, "
+          f"executed {engine.last_mode} "
+          f"({engine.max_workers} workers)")
+    print()
     print(series_table("avg latency (cycles)", series, "avg_latency"))
     print()
     print(series_table("static power (mW)", series, "static_w", scale=1e3))
@@ -174,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--mechanisms", default="baseline,rp,rflov,gflov")
     p.add_argument("--fractions", default="0.0,0.2,0.4,0.6,0.8")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes (default: auto / $REPRO_JOBS)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print per-task progress to stderr")
 
     p = sub.add_parser("parsec", help="full-system PARSEC runs (Fig 8c/d)")
     p.add_argument("--benchmarks", default="")

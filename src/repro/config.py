@@ -18,7 +18,9 @@ Baseline Routing      YX routing
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 #: Power-gating / routing mechanisms implemented by the simulator.
@@ -136,6 +138,39 @@ class NoCConfig:
     def with_(self, **kwargs: Any) -> "NoCConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    # -- stable serialization (experiment cache keys) -----------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """All declared fields as a plain JSON-serializable dict.
+
+        The mapping is *stable*: it contains exactly the dataclass fields
+        in declaration order, so it round-trips through
+        :meth:`from_dict` and feeds :meth:`stable_hash`.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "NoCConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown NoCConfig fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def stable_hash(self) -> str:
+        """Content hash of the configuration, stable across processes.
+
+        Unlike ``hash()``, this does not depend on ``PYTHONHASHSEED`` or
+        the process, so it is usable as an on-disk cache-key component.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
 
 @dataclass(frozen=True)

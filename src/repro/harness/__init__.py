@@ -1,5 +1,11 @@
-"""Experiment harness: runners, sweeps, and figure-shaped table output."""
+"""Experiment harness: runners, sweeps, parallel engine, result cache,
+and figure-shaped table output."""
 from .runner import ExperimentResult, default_cycles, paper_length, run_synthetic
+from .cache import (CACHE_SCHEMA_VERSION, ResultCache, cache_enabled,
+                    default_cache_dir, result_from_dict, result_to_dict,
+                    stable_digest)
+from .parallel import (ParallelSweep, SweepTask, default_jobs,
+                       default_task_timeout, derive_task_seed)
 from .sweep import (FIGURE_FRACTIONS, FIGURE_MECHANISMS, FIGURE_RATES,
                     sweep_fractions, sweep_rates)
 from .ascii_plot import bar_chart, line_chart, sparkline
@@ -7,6 +13,10 @@ from .tables import breakdown_table, normalized_table, series_table, timeline_ta
 
 __all__ = [
     "run_synthetic", "ExperimentResult", "default_cycles", "paper_length",
+    "ParallelSweep", "SweepTask", "default_jobs", "default_task_timeout",
+    "derive_task_seed",
+    "ResultCache", "cache_enabled", "default_cache_dir", "stable_digest",
+    "result_to_dict", "result_from_dict", "CACHE_SCHEMA_VERSION",
     "sweep_fractions", "sweep_rates",
     "FIGURE_MECHANISMS", "FIGURE_FRACTIONS", "FIGURE_RATES",
     "series_table", "breakdown_table", "normalized_table", "timeline_table",

@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every synthetic-traffic experiment is fully determined by
+``(NoCConfig, pattern, rate, gated_fraction, seed, warmup, measure,
+drain, keep_samples)`` — the simulator is deterministic for a fixed
+seed — so a result computed once never needs to be recomputed.  The
+cache keys each task by a SHA-256 digest of that tuple's canonical JSON
+encoding and stores one small JSON file per result under
+``.repro_cache/<aa>/<digest>.json`` (``aa`` = first two hex digits, to
+keep directories small).
+
+Environment knobs
+-----------------
+
+``REPRO_NO_CACHE=1``
+    Bypass the cache entirely (no reads, no writes).
+``REPRO_CACHE_DIR=<path>``
+    Root directory for cache files (default ``.repro_cache`` in the
+    current working directory).
+
+Corrupted or schema-incompatible cache files are discarded with a
+warning and recomputed — never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Any
+
+from ..noc.stats import LatencyBreakdown
+from .runner import ExperimentResult
+
+#: bump when the ExperimentResult schema or simulator semantics change
+#: incompatibly; old cache entries are then ignored.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set (cache fully bypassed)."""
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def default_cache_dir() -> str:
+    """Cache root: ``REPRO_CACHE_DIR`` or ``.repro_cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def stable_digest(key: dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of ``key``.
+
+    Stable across processes and Python invocations (keys sorted, no
+    whitespace, no hash randomization involvement).
+    """
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- ExperimentResult <-> JSON ------------------------------------------------
+
+def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
+    """Lossless JSON-serializable encoding of an :class:`ExperimentResult`."""
+    return {
+        "mechanism": r.mechanism,
+        "pattern": r.pattern,
+        "rate": r.rate,
+        "gated_fraction": r.gated_fraction,
+        "warmup": r.warmup,
+        "measured_cycles": r.measured_cycles,
+        "avg_latency": r.avg_latency,
+        "avg_network_latency": r.avg_network_latency,
+        "breakdown": {
+            "router": r.breakdown.router,
+            "link": r.breakdown.link,
+            "serialization": r.breakdown.serialization,
+            "flov": r.breakdown.flov,
+            "contention": r.breakdown.contention,
+        },
+        "throughput": r.throughput,
+        "packets": r.packets,
+        "escaped": r.escaped,
+        "static_w": r.static_w,
+        "dynamic_w": r.dynamic_w,
+        "total_w": r.total_w,
+        "static_j": r.static_j,
+        "dynamic_j": r.dynamic_j,
+        "total_j": r.total_j,
+        "sleeping_routers": r.sleeping_routers,
+        "gating_events": r.gating_events,
+        "power_states": dict(r.power_states),
+        "samples": [list(s) for s in r.samples],
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict` (bit-identical round-trip)."""
+    d = dict(data)
+    d["breakdown"] = LatencyBreakdown(**d["breakdown"])
+    d["power_states"] = dict(d["power_states"])
+    d["samples"] = [tuple(s) for s in d["samples"]]
+    return ExperimentResult(**d)
+
+
+class ResultCache:
+    """Content-addressed store of experiment results on disk.
+
+    ``get``/``put`` take the *key dict* (see
+    :meth:`repro.harness.parallel.SweepTask.cache_key`); the digest and
+    file layout are internal.  Hit/miss counters are kept for progress
+    reporting.
+    """
+
+    def __init__(self, root: str | os.PathLike[str] | None = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    # -- layout --------------------------------------------------------------
+
+    def path_for(self, key: dict[str, Any]) -> Path:
+        digest = stable_digest(key)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- operations ----------------------------------------------------------
+
+    def get(self, key: dict[str, Any]) -> ExperimentResult | None:
+        """Cached result for ``key``, or None.
+
+        A file that cannot be parsed or fails basic shape checks is
+        removed with a warning and treated as a miss.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload.get('schema')!r} != "
+                                 f"{CACHE_SCHEMA_VERSION}")
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            warnings.warn(f"discarding corrupted cache entry {path}: {exc}",
+                          RuntimeWarning, stacklevel=2)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: dict[str, Any], result: ExperimentResult) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result_to_dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> None:
+        """Remove every cache entry (and the root directory)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,345 @@
+"""Parallel experiment engine: fan ``run_synthetic`` tasks over processes.
+
+Reproducing any of the paper's figures means running dozens of
+independent simulations (mechanisms x gated fractions x rates).  Each
+one is a pure function of its parameters, so the engine
+
+* fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (worker count auto-detected, ``REPRO_JOBS`` overrides),
+* consults the content-addressed on-disk cache first
+  (:mod:`repro.harness.cache`) so warm reruns skip simulation entirely,
+* applies a per-task timeout and retries a failed/timed-out task once,
+  in-process, before giving up,
+* falls back to plain in-process serial execution when only one worker
+  is requested or the pool cannot be created (restricted environments,
+  missing ``fork``/semaphores, ...), and
+* reports progress through an optional callback.
+
+Determinism: every task carries an explicit seed (or derives one
+stably from its own identity via :func:`derive_task_seed`), so results
+are bit-identical across the serial path, the pool path, and cache
+replay — the determinism regression tests assert exactly this.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import hashlib
+from concurrent.futures.process import BrokenProcessPool
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..config import NoCConfig
+from ..gating.schedule import GatingSchedule
+from .cache import ResultCache, cache_enabled
+from .runner import ExperimentResult, default_cycles, run_synthetic
+
+#: signature: progress(done, total, task_or_item, result, from_cache)
+ProgressFn = Callable[[int, int, Any, Any, bool], None]
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(f"ignoring non-integer REPRO_JOBS={env!r}",
+                          RuntimeWarning, stacklevel=2)
+    return os.cpu_count() or 1
+
+
+def default_task_timeout() -> float:
+    """Per-task timeout in seconds (``REPRO_TASK_TIMEOUT``, default 600)."""
+    env = os.environ.get("REPRO_TASK_TIMEOUT")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            warnings.warn(f"ignoring non-numeric REPRO_TASK_TIMEOUT={env!r}",
+                          RuntimeWarning, stacklevel=2)
+    return 600.0
+
+
+def derive_task_seed(base_seed: int, *parts: Any) -> int:
+    """Deterministic per-task seed from a base seed and task identity.
+
+    Stable across processes and Python invocations (SHA-256, not
+    ``hash()``), so serial, parallel, and resumed runs agree on the seed
+    of every task regardless of execution order.
+    """
+    blob = repr((base_seed, parts)).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") % (2**31)
+
+
+@dataclass
+class SweepTask:
+    """One ``run_synthetic`` invocation, picklable and cache-keyable.
+
+    ``seed=None`` derives a deterministic per-task seed from the task's
+    own identity (mechanism/pattern/rate/fraction).  A task carrying a
+    ``schedule`` object is executed but never cached (schedules are not
+    content-hashed).
+    """
+
+    mechanism: str
+    pattern: str = "uniform"
+    rate: float = 0.02
+    gated_fraction: float = 0.0
+    warmup: int | None = None
+    measure: int | None = None
+    seed: int | None = 1
+    drain: bool = True
+    keep_samples: bool = False
+    schedule: GatingSchedule | None = None
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    def resolved(self) -> "SweepTask":
+        """Copy with warmup/measure/seed made explicit.
+
+        Cycle defaults are resolved in the *parent* process so that
+        ``REPRO_FULL`` is honored even if workers see a different
+        environment; the seed is derived here so cache keys and worker
+        executions agree.
+        """
+        dw, dm = default_cycles()
+        warmup = dw if self.warmup is None else self.warmup
+        measure = dm if self.measure is None else self.measure
+        seed = self.seed
+        if seed is None:
+            seed = derive_task_seed(0, self.mechanism, self.pattern,
+                                    self.rate, self.gated_fraction)
+        return SweepTask(mechanism=self.mechanism, pattern=self.pattern,
+                         rate=self.rate, gated_fraction=self.gated_fraction,
+                         warmup=warmup, measure=measure, seed=seed,
+                         drain=self.drain, keep_samples=self.keep_samples,
+                         schedule=self.schedule,
+                         overrides=dict(self.overrides))
+
+    def config(self) -> NoCConfig:
+        """The NoCConfig this task will simulate (validates overrides)."""
+        assert self.seed is not None, "resolve() first"
+        return NoCConfig(mechanism=self.mechanism, seed=self.seed,
+                         **self.overrides)
+
+    def cache_key(self) -> dict[str, Any] | None:
+        """Stable key dict, or None when the task is uncacheable."""
+        if self.schedule is not None:
+            return None
+        return {
+            "config": self.config().to_dict(),
+            "pattern": self.pattern,
+            "rate": self.rate,
+            "gated_fraction": self.gated_fraction,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain": self.drain,
+            "keep_samples": self.keep_samples,
+        }
+
+    def run(self) -> ExperimentResult:
+        """Execute the task in the current process."""
+        return run_synthetic(self.mechanism, pattern=self.pattern,
+                             rate=self.rate,
+                             gated_fraction=self.gated_fraction,
+                             warmup=self.warmup, measure=self.measure,
+                             seed=self.seed, schedule=self.schedule,
+                             keep_samples=self.keep_samples,
+                             drain=self.drain, **self.overrides)
+
+
+def _execute_task(task: SweepTask) -> ExperimentResult:
+    """Module-level worker entry point (must be picklable)."""
+    return task.run()
+
+
+def _call(fn_and_item: tuple[Callable[[Any], Any], Any]) -> Any:
+    fn, item = fn_and_item
+    return fn(item)
+
+
+class ParallelSweep:
+    """Executor that runs :class:`SweepTask` batches with cache + pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count; ``None`` auto-detects (``REPRO_JOBS`` override).
+        ``1`` forces the in-process serial path (no pool, no pickling).
+    use_cache:
+        Consult/populate the on-disk result cache.  ``REPRO_NO_CACHE=1``
+        wins over ``True``.
+    cache:
+        A :class:`ResultCache`; default uses ``REPRO_CACHE_DIR`` /
+        ``.repro_cache``.
+    task_timeout:
+        Seconds a pooled task may run before it is abandoned and retried
+        serially (``REPRO_TASK_TIMEOUT`` sets the default).  The serial
+        path cannot preempt a task, so no timeout applies there.
+    progress:
+        Optional callback ``(done, total, task, result, from_cache)``
+        invoked once per finished task.
+    """
+
+    def __init__(self, max_workers: int | None = None, *,
+                 use_cache: bool = True,
+                 cache: ResultCache | None = None,
+                 task_timeout: float | None = None,
+                 progress: ProgressFn | None = None) -> None:
+        self.max_workers = (default_jobs() if max_workers is None
+                            else max(1, int(max_workers)))
+        self.use_cache = use_cache
+        self.cache = cache if cache is not None else ResultCache()
+        self.task_timeout = (default_task_timeout() if task_timeout is None
+                             else task_timeout)
+        self.progress = progress
+        #: how the last run() executed its computed tasks
+        self.last_mode: str = "none"
+        #: cache hits observed during the last run()
+        self.last_cache_hits: int = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _caching(self) -> bool:
+        return self.use_cache and cache_enabled()
+
+    def _notify(self, done: int, total: int, task: Any, result: Any,
+                from_cache: bool) -> None:
+        if self.progress is not None:
+            self.progress(done, total, task, result, from_cache)
+
+    def _run_pool(self, fn: Callable[[Any], Any],
+                  payloads: Sequence[Any]) -> list[Any] | None:
+        """Run ``fn`` over payloads in a process pool.
+
+        Returns the results, or ``None`` when the pool could not be
+        created at all (caller falls back to serial).  Individual task
+        failures/timeouts are retried once in-process; a second failure
+        propagates.
+        """
+        workers = min(self.max_workers, len(payloads))
+        try:
+            executor = cf.ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, ImportError,
+                NotImplementedError) as exc:  # pragma: no cover - env-dep.
+            warnings.warn(f"process pool unavailable ({exc}); "
+                          f"running serially", RuntimeWarning, stacklevel=2)
+            return None
+        results: list[Any] = [None] * len(payloads)
+        try:
+            try:
+                futures = [executor.submit(fn, p) for p in payloads]
+            except Exception as exc:  # unpicklable payload, broken pool, ...
+                warnings.warn(f"process pool submission failed ({exc}); "
+                              f"running serially", RuntimeWarning,
+                              stacklevel=2)
+                executor.shutdown(wait=False, cancel_futures=True)
+                return None
+            broken = False
+            for i, fut in enumerate(futures):
+                if broken:
+                    results[i] = self._retry(fn, payloads[i], None)
+                    continue
+                try:
+                    results[i] = fut.result(timeout=self.task_timeout)
+                except BrokenProcessPool as exc:
+                    # whole pool died (OOM-killed worker, ...): finish
+                    # everything still pending in-process.
+                    warnings.warn(f"process pool broke ({exc}); finishing "
+                                  f"remaining tasks serially",
+                                  RuntimeWarning, stacklevel=2)
+                    broken = True
+                    results[i] = self._retry(fn, payloads[i], None)
+                except (cf.TimeoutError, Exception) as exc:
+                    fut.cancel()
+                    results[i] = self._retry(fn, payloads[i], exc)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    @staticmethod
+    def _retry(fn: Callable[[Any], Any], payload: Any,
+               exc: BaseException | None) -> Any:
+        if exc is not None:
+            warnings.warn(f"task failed in worker ({exc!r}); retrying "
+                          f"in-process once", RuntimeWarning, stacklevel=3)
+        return fn(payload)  # second failure propagates to the caller
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[ExperimentResult]:
+        """Execute tasks (cache, then pool/serial); order is preserved."""
+        resolved = [t.resolved() for t in tasks]
+        total = len(resolved)
+        results: list[ExperimentResult | None] = [None] * total
+        caching = self._caching()
+        keys: list[dict[str, Any] | None] = [None] * total
+
+        pending: list[int] = []
+        done = 0
+        for i, task in enumerate(resolved):
+            key = task.cache_key() if caching else None
+            keys[i] = key
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                self._notify(done, total, task, hit, True)
+            else:
+                pending.append(i)
+        self.last_cache_hits = total - len(pending)
+
+        if pending:
+            payloads = [resolved[i] for i in pending]
+            computed: list[ExperimentResult] | None = None
+            if min(self.max_workers, len(payloads)) > 1:
+                computed = self._run_pool(_execute_task, payloads)
+                self.last_mode = "parallel" if computed is not None \
+                    else "serial"
+            else:
+                self.last_mode = "serial"
+            if computed is None:
+                computed = []
+                for task in payloads:
+                    computed.append(task.run())
+            for i, res in zip(pending, computed):
+                results[i] = res
+                if caching and keys[i] is not None:
+                    self.cache.put(keys[i], res)
+                done += 1
+                self._notify(done, total, resolved[i], res, False)
+        else:
+            self.last_mode = "cached"
+        return results  # type: ignore[return-value]
+
+    def run_one(self, task: SweepTask) -> ExperimentResult:
+        """Convenience wrapper: run a single task through the engine."""
+        return self.run([task])[0]
+
+    def map_callable(self, fn: Callable[[Any], Any],
+                     items: Sequence[Any]) -> list[Any]:
+        """Generic fan-out of ``fn`` over ``items`` (no result cache).
+
+        ``fn`` must be picklable (module-level) for the pool path; the
+        serial fallback works with any callable.  Used by benchmarks
+        whose unit of work is not a synthetic-traffic task (e.g. the
+        PARSEC full-system runs).
+        """
+        total = len(items)
+        if total == 0:
+            return []
+        results: list[Any] | None = None
+        if min(self.max_workers, total) > 1:
+            results = self._run_pool(_call, [(fn, it) for it in items])
+            self.last_mode = "parallel" if results is not None else "serial"
+        else:
+            self.last_mode = "serial"
+        if results is None:
+            results = [fn(it) for it in items]
+        for i, res in enumerate(results):
+            self._notify(i + 1, total, items[i], res, False)
+        return results

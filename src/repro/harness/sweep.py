@@ -1,11 +1,20 @@
 """Parameter sweeps over mechanisms / gated fractions / injection rates —
-the loops behind Figures 6, 7 and 9."""
+the loops behind Figures 6, 7 and 9.
+
+Since the parallel-engine rework these helpers build a flat list of
+:class:`~repro.harness.parallel.SweepTask` and hand it to a
+:class:`~repro.harness.parallel.ParallelSweep`, so a full figure grid
+saturates every core on first run and replays from the on-disk result
+cache afterwards.  Pass ``engine=ParallelSweep(max_workers=1,
+use_cache=False)`` to force the old serial, uncached behavior.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-from .runner import ExperimentResult, run_synthetic
+from .parallel import ParallelSweep, ProgressFn, SweepTask
+from .runner import ExperimentResult
 
 #: the four mechanisms every figure compares
 FIGURE_MECHANISMS: tuple[str, ...] = ("baseline", "rp", "rflov", "gflov")
@@ -17,21 +26,57 @@ FIGURE_FRACTIONS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
 #: the two injection rates of Figures 6/7
 FIGURE_RATES: tuple[float, ...] = (0.02, 0.08)
 
+#: run_synthetic keyword arguments that are *not* NoCConfig overrides
+_RUNNER_KWARGS = ("warmup", "measure", "schedule", "keep_samples", "drain")
+
+
+def _split_kwargs(kwargs: dict[str, Any]) -> tuple[dict[str, Any],
+                                                   dict[str, Any]]:
+    """Split run_synthetic keywords from NoCConfig overrides."""
+    runner = {k: kwargs.pop(k) for k in _RUNNER_KWARGS if k in kwargs}
+    return runner, kwargs
+
+
+def _make_task(mechanism: str, *, pattern: str, rate: float,
+               gated_fraction: float, seed: int | None,
+               runner: dict[str, Any],
+               overrides: dict[str, Any]) -> SweepTask:
+    return SweepTask(mechanism=mechanism, pattern=pattern, rate=rate,
+                     gated_fraction=gated_fraction, seed=seed,
+                     warmup=runner.get("warmup"),
+                     measure=runner.get("measure"),
+                     schedule=runner.get("schedule"),
+                     keep_samples=runner.get("keep_samples", False),
+                     drain=runner.get("drain", True),
+                     overrides=dict(overrides))
+
 
 def sweep_fractions(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
                     fractions: Iterable[float] = FIGURE_FRACTIONS, *,
                     pattern: str = "uniform", rate: float = 0.02,
                     seed: int = 1,
+                    engine: ParallelSweep | None = None,
+                    progress: ProgressFn | None = None,
                     **kwargs) -> dict[str, list[ExperimentResult]]:
-    """Latency/power vs. gated fraction, one series per mechanism."""
+    """Latency/power vs. gated fraction, one series per mechanism.
+
+    Extra keyword arguments are forwarded to ``run_synthetic`` (cycle
+    counts and :class:`~repro.config.NoCConfig` overrides).  ``engine``
+    supplies a preconfigured executor; by default a fresh
+    :class:`ParallelSweep` (auto worker count, cache on) is used.
+    """
+    runner, overrides = _split_kwargs(dict(kwargs))
+    fracs = list(fractions)
+    tasks = [_make_task(mech, pattern=pattern, rate=rate,
+                        gated_fraction=frac, seed=seed, runner=runner,
+                        overrides=overrides)
+             for mech in mechanisms for frac in fracs]
+    if engine is None:
+        engine = ParallelSweep(progress=progress)
+    results = engine.run(tasks)
     out: dict[str, list[ExperimentResult]] = {}
-    for mech in mechanisms:
-        series = []
-        for frac in fractions:
-            series.append(run_synthetic(mech, pattern=pattern, rate=rate,
-                                        gated_fraction=frac, seed=seed,
-                                        **kwargs))
-        out[mech] = series
+    for i, mech in enumerate(mechanisms):
+        out[mech] = results[i * len(fracs):(i + 1) * len(fracs)]
     return out
 
 
@@ -39,12 +84,20 @@ def sweep_rates(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
                 rates: Iterable[float] = (0.01, 0.02, 0.04, 0.06, 0.08), *,
                 pattern: str = "uniform", gated_fraction: float = 0.0,
                 seed: int = 1,
+                engine: ParallelSweep | None = None,
+                progress: ProgressFn | None = None,
                 **kwargs) -> dict[str, list[ExperimentResult]]:
     """Latency vs. offered load (load-latency curves)."""
+    runner, overrides = _split_kwargs(dict(kwargs))
+    rate_list = list(rates)
+    tasks = [_make_task(mech, pattern=pattern, rate=r,
+                        gated_fraction=gated_fraction, seed=seed,
+                        runner=runner, overrides=overrides)
+             for mech in mechanisms for r in rate_list]
+    if engine is None:
+        engine = ParallelSweep(progress=progress)
+    results = engine.run(tasks)
     out: dict[str, list[ExperimentResult]] = {}
-    for mech in mechanisms:
-        out[mech] = [run_synthetic(mech, pattern=pattern, rate=r,
-                                   gated_fraction=gated_fraction, seed=seed,
-                                   **kwargs)
-                     for r in rates]
+    for i, mech in enumerate(mechanisms):
+        out[mech] = results[i * len(rate_list):(i + 1) * len(rate_list)]
     return out

@@ -112,15 +112,21 @@ def make_neighbor(cfg: NoCConfig) -> PatternFn:
 
 
 # Cache of the active-set view; Sequence -> frozenset conversion is the
-# hot path of deterministic patterns.
-_active_cache: tuple[int, frozenset[int]] = (-1, frozenset())
+# hot path of deterministic patterns.  The cache holds a *strong
+# reference* to the keyed sequence and compares by identity: an alive
+# object's id cannot be recycled, so this is immune to the id-reuse bug
+# a plain ``id()`` key has (a fresh list allocated at a dead list's
+# address would silently hit the stale entry).  Callers must replace
+# the active list wholesale rather than mutate it in place — the
+# traffic generator does.
+_active_cache: tuple[Sequence[int] | None, frozenset[int]] = (None,
+                                                              frozenset())
 
 
 def _active_set(active: Sequence[int]) -> frozenset[int]:
     global _active_cache
-    key = id(active)
-    if _active_cache[0] != key:
-        _active_cache = (key, frozenset(active))
+    if _active_cache[0] is not active:
+        _active_cache = (active, frozenset(active))
     return _active_cache[1]
 
 

@@ -1,0 +1,144 @@
+"""Property tests for ``repro.noc.allocators`` and the router's
+separable switch allocation.
+
+* ``RoundRobinArbiter`` never grants a non-requesting line, rotates
+  priority after a grant, and starves no persistent requester over a
+  randomized request schedule.
+* ``MatrixArbiter`` grants only actual requesters and rotates.
+* The router's separable SA never grants two inputs to one output (and
+  never two grants to one input) in any cycle of a randomized run.
+"""
+
+import random
+
+import pytest
+
+from repro.noc.allocators import MatrixArbiter, RoundRobinArbiter
+
+STEPS = 400
+
+
+# -- RoundRobinArbiter --------------------------------------------------------
+
+def test_rr_grant_subset_of_requests():
+    rng = random.Random(11)
+    arb = RoundRobinArbiter(5)
+    for _ in range(STEPS):
+        reqs = [rng.random() < 0.4 for _ in range(5)]
+        g = arb.grant(reqs)
+        if g == -1:
+            assert not any(reqs)
+        else:
+            assert reqs[g], "granted a non-requesting line"
+
+
+def test_rr_rotates_priority_after_grant():
+    arb = RoundRobinArbiter(4)
+    # everyone requests forever: grants must cycle 0,1,2,3,0,1,...
+    grants = [arb.grant([True] * 4) for _ in range(8)]
+    assert grants == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_rr_winner_loses_priority():
+    arb = RoundRobinArbiter(3)
+    assert arb.grant([True, False, True]) == 0
+    # line 0 requests again, but 2 now outranks it
+    assert arb.grant([True, False, True]) == 2
+    assert arb.grant([True, False, True]) == 0
+
+
+def test_rr_no_starvation_random_schedule():
+    """A persistent requester is granted within ``size`` grant rounds."""
+    rng = random.Random(5)
+    size = 6
+    arb = RoundRobinArbiter(size)
+    waits = 0
+    max_wait = 0
+    for _ in range(2000):
+        reqs = [rng.random() < 0.7 for _ in range(size)]
+        reqs[3] = True  # line 3 always requests
+        g = arb.grant(reqs)
+        assert g != -1
+        if g == 3:
+            max_wait = max(max_wait, waits)
+            waits = 0
+        else:
+            waits += 1
+    # round-robin bound: at most size-1 other grants between two grants
+    assert max_wait <= size - 1, f"line 3 starved for {max_wait} grants"
+
+
+def test_rr_single_line_and_validation():
+    arb = RoundRobinArbiter(1)
+    assert arb.grant([True]) == 0
+    assert arb.grant([False]) == -1
+    with pytest.raises(ValueError):
+        arb.grant([True, False])
+    with pytest.raises(ValueError):
+        RoundRobinArbiter(0)
+
+
+# -- MatrixArbiter ------------------------------------------------------------
+
+def test_matrix_grants_only_requesters():
+    rng = random.Random(7)
+    arb = MatrixArbiter()
+    pop = ["a", "b", "c", "d"]
+    for _ in range(STEPS):
+        reqs = [p for p in pop if rng.random() < 0.5]
+        w = arb.grant(reqs)
+        if reqs:
+            assert w in reqs
+        else:
+            assert w is None
+
+
+def test_matrix_rotation_no_starvation():
+    arb = MatrixArbiter()
+    wins = {p: 0 for p in "abc"}
+    for _ in range(30):
+        wins[arb.grant(["a", "b", "c"])] += 1
+    assert wins == {"a": 10, "b": 10, "c": 10}
+
+
+# -- separable switch allocation (router level) -------------------------------
+
+@pytest.mark.parametrize("mechanism,gated", [("baseline", 0.0),
+                                             ("gflov", 0.4)])
+def test_sa_one_grant_per_output_and_input(monkeypatch, mechanism, gated):
+    """Crossbar constraint: per router and cycle, at most one traversal
+    per output port and one per input port — under real traffic."""
+    from repro.config import NoCConfig
+    from repro.gating.schedule import StaticGating
+    from repro.noc.network import Network
+    from repro.noc.router import Router
+    from repro.traffic.generator import TrafficGenerator
+    from repro.traffic.patterns import get_pattern
+
+    grants: list[tuple[int, int, object, object]] = []
+    orig = Router._traverse
+
+    def spy(self, in_dir, vci, now):
+        grants.append((self.node, now, in_dir,
+                       self.ivc[in_dir][vci].out_port))
+        return orig(self, in_dir, vci, now)
+
+    monkeypatch.setattr(Router, "_traverse", spy)
+
+    cfg = NoCConfig(mechanism=mechanism, width=4, height=4, seed=3)
+    net = Network(cfg)
+    net.set_gating(StaticGating(cfg.num_routers, gated, seed=3))
+    gen = TrafficGenerator(net, get_pattern("uniform", cfg), 0.25, seed=3)
+    gen.run(600)
+
+    assert grants, "no switch traversals recorded"
+    per_cycle: dict[tuple[int, int], list[tuple[object, object]]] = {}
+    for node, now, in_dir, out_port in grants:
+        per_cycle.setdefault((node, now), []).append((in_dir, out_port))
+    for (node, now), pairs in per_cycle.items():
+        outs = [o for _, o in pairs]
+        ins = [i for i, _ in pairs]
+        assert len(outs) == len(set(outs)), (
+            f"router {node} cycle {now}: output granted twice: {pairs}")
+        assert len(ins) == len(set(ins)), (
+            f"router {node} cycle {now}: input granted twice: {pairs}")

@@ -1,0 +1,155 @@
+"""Cache correctness: hits equal recomputation, any key-field change
+misses, corruption is tolerated, and the env knobs work."""
+
+import json
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.harness import (CACHE_SCHEMA_VERSION, ParallelSweep, ResultCache,
+                           SweepTask, result_from_dict, result_to_dict,
+                           run_synthetic, stable_digest)
+
+RUN_KW = dict(rate=0.04, gated_fraction=0.4, warmup=150, measure=500, seed=9)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _task(**over):
+    kw = dict(RUN_KW)
+    kw.update(over)
+    return SweepTask("gflov", **kw)
+
+
+def _engine(cache, **kw):
+    kw.setdefault("max_workers", 1)
+    return ParallelSweep(cache=cache, **kw)
+
+
+def test_hit_equals_recompute(cache):
+    task = _task(keep_samples=True)
+    cached = _engine(cache).run([task])[0]
+    recomputed = run_synthetic("gflov", keep_samples=True, **RUN_KW)
+    replayed = _engine(cache).run([task])[0]
+    assert cache.hits == 1
+    assert replayed == recomputed == cached
+
+
+@pytest.mark.parametrize("field,value", [
+    ("rate", 0.08),
+    ("seed", 10),
+    ("gated_fraction", 0.2),
+    ("measure", 600),
+    ("warmup", 100),
+    ("pattern", "tornado"),
+])
+def test_changing_key_field_misses(cache, field, value):
+    eng = _engine(cache)
+    eng.run([_task()])
+    eng.run([_task(**{field: value})])
+    assert cache.hits == 0
+    assert len(cache) == 2
+
+
+def test_changing_topology_misses(cache):
+    eng = _engine(cache)
+    eng.run([_task()])
+    eng.run([_task(overrides={"width": 4, "height": 4})])
+    assert cache.hits == 0
+    assert len(cache) == 2
+
+
+def test_mechanism_misses(cache):
+    eng = _engine(cache)
+    eng.run([_task()])
+    eng.run([SweepTask("rflov", **RUN_KW)])
+    assert cache.hits == 0
+
+
+def test_corrupted_file_is_discarded_with_warning(cache):
+    task = _task()
+    eng = _engine(cache)
+    first = eng.run([task])[0]
+    path = cache.path_for(task.resolved().cache_key())
+    assert path.is_file()
+    path.write_text("{ not json !!!")
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        again = _engine(cache).run([task])[0]
+    assert again == first  # recomputed, not crashed
+    # and the recomputation re-populated a valid entry
+    assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA_VERSION
+
+
+def test_schema_mismatch_is_discarded(cache):
+    task = _task()
+    eng = _engine(cache)
+    eng.run([task])
+    path = cache.path_for(task.resolved().cache_key())
+    payload = json.loads(path.read_text())
+    payload["schema"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        eng2 = _engine(cache)
+        eng2.run([task])
+    assert eng2.last_cache_hits == 0
+
+
+def test_truncated_result_payload_is_discarded(cache):
+    task = _task()
+    _engine(cache).run([task])
+    path = cache.path_for(task.resolved().cache_key())
+    payload = json.loads(path.read_text())
+    del payload["result"]["avg_latency"]
+    path.write_text(json.dumps(payload))
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        _engine(cache).run([task])
+
+
+def test_no_cache_env_bypasses(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    eng = _engine(cache)
+    eng.run([_task()])
+    eng.run([_task()])
+    assert len(cache) == 0
+    assert cache.hits == 0
+
+
+def test_schedule_tasks_are_uncacheable(cache):
+    from repro.gating.schedule import EpochGating
+    task = _task(schedule=EpochGating([(0, {5})]))
+    assert task.resolved().cache_key() is None
+    _engine(cache).run([task])
+    assert len(cache) == 0
+
+
+def test_result_roundtrip_bit_identical():
+    r = run_synthetic("rp", keep_samples=True, **RUN_KW)
+    blob = json.dumps(result_to_dict(r))
+    assert result_from_dict(json.loads(blob)) == r
+
+
+def test_stable_digest_is_order_insensitive():
+    a = stable_digest({"x": 1, "y": [1, 2]})
+    b = stable_digest({"y": [1, 2], "x": 1})
+    assert a == b and len(a) == 64
+    assert a != stable_digest({"x": 1, "y": [2, 1]})
+
+
+def test_config_serialization_roundtrip():
+    cfg = NoCConfig(mechanism="rflov", width=6, height=4, seed=42,
+                    escape_timeout=16)
+    assert NoCConfig.from_dict(cfg.to_dict()) == cfg
+    assert cfg.stable_hash() == cfg.with_().stable_hash()
+    assert cfg.stable_hash() != cfg.with_(seed=43).stable_hash()
+    with pytest.raises(ValueError, match="unknown NoCConfig fields"):
+        NoCConfig.from_dict({**cfg.to_dict(), "bogus": 1})
+
+
+def test_cache_clear(cache):
+    _engine(cache).run([_task()])
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
