@@ -81,8 +81,7 @@ class BypassRing:
                 continue
             _, pkt = q.popleft()
             for _ in range(pkt.size):
-                acct.on_flov_latch()
-                acct.on_link_traversal()
+                acct.on_flov_hop()
             pkt.flov_hops += 1
             self.hops_total += 1
             node = self.order[i]
@@ -113,6 +112,7 @@ class NordMechanism(Mechanism):
         for d in r.mesh_ports:
             nb = self.net.routers[r.neighbor_id(d)]
             nb.psr[OPPOSITE[d]] = state
+            nb._psr_epoch += 1
 
     def on_schedule_change(self, now: int, gated: frozenset[int]) -> None:
         self.gated_cores = gated
@@ -174,7 +174,10 @@ class NordMechanism(Mechanism):
         """Move fully-buffered packets whose XY path is blocked onto the
         ring (NoRD's bypass entry through the ejection channel)."""
         for r in self.net.routers:
-            if not r.powered or not r.occupancy:
+            # _active is a superset of {occupancy > 0} (kernel activation
+            # invariant), so the flag-first order only skips work-free
+            # routers — identical diversion behavior, cheaper scan.
+            if not r._active or not r.occupancy or not r.powered:
                 continue
             for in_dir in r.ports:
                 if not r.port_flits[in_dir]:

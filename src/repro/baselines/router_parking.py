@@ -145,6 +145,7 @@ class RouterParkingMechanism(Mechanism):
                 nb = r.neighbor_id(d)
                 r.psr[d] = (PowerState.SLEEP if nb in new_parked
                             else PowerState.ACTIVE)
+            r._psr_epoch += 1
 
     # -- data plane -----------------------------------------------------------
 

@@ -2,6 +2,10 @@
 
 Routes fully in Y first, then in X. Deterministic and deadlock-free on a
 mesh (dimension-order acyclic channel dependencies).
+
+``Route`` is a frozen dataclass, so the five possible decisions are
+interned module-level singletons: the routing functions sit on the VA
+hot path and must not allocate per call.
 """
 
 from __future__ import annotations
@@ -9,20 +13,26 @@ from __future__ import annotations
 from ..core.routing import Decision, Route
 from ..noc.types import Direction
 
+_NORTH = Route(Direction.NORTH)
+_SOUTH = Route(Direction.SOUTH)
+_EAST = Route(Direction.EAST)
+_WEST = Route(Direction.WEST)
+_LOCAL = Route(Direction.LOCAL)
+
 
 def yx_route(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> Decision:
     """Next hop under YX routing."""
     if cur_y != dst_y:
-        return Route(Direction.NORTH if dst_y > cur_y else Direction.SOUTH)
+        return _NORTH if dst_y > cur_y else _SOUTH
     if cur_x != dst_x:
-        return Route(Direction.EAST if dst_x > cur_x else Direction.WEST)
-    return Route(Direction.LOCAL)
+        return _EAST if dst_x > cur_x else _WEST
+    return _LOCAL
 
 
 def xy_route(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> Decision:
     """Next hop under XY routing (provided for ablations)."""
     if cur_x != dst_x:
-        return Route(Direction.EAST if dst_x > cur_x else Direction.WEST)
+        return _EAST if dst_x > cur_x else _WEST
     if cur_y != dst_y:
-        return Route(Direction.NORTH if dst_y > cur_y else Direction.SOUTH)
-    return Route(Direction.LOCAL)
+        return _NORTH if dst_y > cur_y else _SOUTH
+    return _LOCAL

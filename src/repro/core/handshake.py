@@ -97,6 +97,21 @@ class HandshakeController:
         #: failed-drain backoff: node -> earliest cycle to retry
         self._drain_backoff: dict[int, int] = {}
         self.gated_cores: frozenset[int] = frozenset()
+        #: scan position of each gated node (``gated_cores`` iteration
+        #: order at the last schedule change)
+        self._gated_index: dict[int, int] = {}
+        #: drain candidates — gated cores whose router is still ACTIVE —
+        #: keyed by scan position.  Maintained at every ACTIVE-edge
+        #: transition so the per-cycle drain scan touches only candidates
+        #: (none at all in the steady state at high gated fractions)
+        #: while attempts still fire in the same order as a full scan.
+        self._drain_candidates: dict[int, Router] = {}
+        #: negative-result cache for the drain predicate: node ->
+        #: (psr_epoch, not_before).  A candidate whose last ``_may_drain``
+        #: failed is skipped until either its earliest possible success
+        #: cycle or any PSR change (epoch mismatch), whichever comes
+        #: first.  Cleared wholesale on schedule changes.
+        self._cand_skip: dict[int, tuple[int, int]] = {}
         self.aon_nodes = frozenset(
             net.cfg.node_id(net.cfg.resolved_aon_column, y)
             for y in range(net.cfg.height))
@@ -150,11 +165,18 @@ class HandshakeController:
         while heap and heap[0][0] <= now:
             _, _, dst, msg = heapq.heappop(heap)
             self._handle(now, dst, msg)
-        self._check_observers(now)
-        self._check_drainers(now)
-        self._check_wakers(now)
-        self._try_wakeups(now)
-        self._try_new_drains(now)
+        # each helper is a no-op on its empty collection — the guards only
+        # skip the call overhead (the common case on a quiet control plane)
+        if self._obligations:
+            self._check_observers(now)
+        if self._drainers:
+            self._check_drainers(now)
+        if self._wakers:
+            self._check_wakers(now)
+        if self._want_wake:
+            self._try_wakeups(now)
+        if self._drain_candidates:
+            self._try_new_drains(now)
 
     def on_schedule_change(self, now: int, gated: frozenset[int]) -> None:
         woken = self.gated_cores - gated
@@ -165,6 +187,12 @@ class HandshakeController:
                 self._abort_drain(r, now)
             elif r.state == PowerState.SLEEP:
                 self._want_wake.setdefault(node, now)
+        routers = self.net.routers
+        self._gated_index = {n: i for i, n in enumerate(gated)}
+        self._drain_candidates = {
+            i: routers[n] for i, n in enumerate(gated)
+            if routers[n].state is PowerState.ACTIVE}
+        self._cand_skip.clear()
         self._try_wakeups(now)
 
     def request_wakeup(self, requester: "Router", target: int, now: int) -> None:
@@ -189,26 +217,89 @@ class HandshakeController:
             return False
         if r.ni.pending_flits:
             return False
+        psr = r.psr
         if not self.generalized:
             # rFLOV: no physical neighbor may be draining or power-gated.
-            return all(r.psr[d] == PowerState.ACTIVE for d in r.mesh_ports)
+            for d in r.mesh_ports:
+                if psr[d] is not PowerState.ACTIVE:
+                    return False
+            return True
         # gFLOV: physical neighbors may sleep, but no handshake partner may
         # be mid-transition (Draining-Draining / Draining-Wakeup forbidden).
+        lpsr = r.logical_psr
+        draining = PowerState.DRAINING
+        wakeup = PowerState.WAKEUP
         for d in r.mesh_ports:
-            if r.psr[d] in (PowerState.DRAINING, PowerState.WAKEUP):
+            s = psr[d]
+            if s is draining or s is wakeup:
                 return False
-            if r.logical_psr[d] in (PowerState.DRAINING, PowerState.WAKEUP):
+            s = lpsr[d]
+            if s is draining or s is wakeup:
                 return False
         return True
 
+    #: sentinel "not before the heat death": used for skip entries that
+    #: only an epoch bump (PSR change) or a schedule change can clear
+    _FOREVER = 1 << 62
+
+    def _skip_until(self, r: "Router", now: int) -> int:
+        """Lower bound on the next cycle at which ``_may_drain(r)`` could
+        newly return True, given that it just returned False at ``now``.
+
+        Each bound is conservative (never later than the true earliest
+        success), so skipping until it preserves the exact drain-attempt
+        schedule of an every-cycle scan.  PSR-blocked (and permanently
+        ineligible aon/protected) candidates return ``_FOREVER``; the
+        PSR case is additionally guarded by the router's ``_psr_epoch``
+        so any register write forces a re-check.  Assumes ``protected``
+        is configured before stepping begins (as ``fullsystem`` does) —
+        it never shrinks mid-run.
+        """
+        node = r.node
+        if node in self.aon_nodes or node in self.protected:
+            return self._FOREVER
+        t = 0
+        back = self._drain_backoff.get(node, 0)
+        if back > now:
+            t = back
+        idle_at = r.last_local_activity + self.cfg.idle_threshold
+        if idle_at > now and idle_at > t:
+            # lla is monotone: the real threshold crossing is >= idle_at
+            t = idle_at
+        if r.ni.pending_flits and now + 1 > t:
+            t = now + 1  # injection can clear it next evaluate phase
+        if t > now:
+            return t
+        # every time-based gate already holds, so the failure came from
+        # the PSR neighbourhood check: wait for an epoch bump
+        return self._FOREVER
+
     def _try_new_drains(self, now: int) -> None:
-        for node in self.gated_cores:
-            r = self._router(node)
+        # Only gated-but-ACTIVE routers are candidates; iterate them in
+        # scan-position order so simultaneous drain attempts fire in the
+        # same order (and with the same message sequencing) as a full
+        # scan over ``gated_cores`` would produce.  A candidate whose
+        # last check failed is skipped until its cached earliest-success
+        # cycle, unless a PSR write bumped its epoch meanwhile.
+        cands = self._drain_candidates
+        skip = self._cand_skip
+        for i in sorted(cands):
+            r = cands[i]
+            if r.state is not PowerState.ACTIVE:
+                continue
+            sk = skip.get(r.node)
+            if sk is not None and sk[0] == r._psr_epoch and now < sk[1]:
+                continue
             if self._may_drain(r, now):
                 self._start_drain(r, now)
+            else:
+                skip[r.node] = (r._psr_epoch, self._skip_until(r, now))
 
     def _start_drain(self, r: "Router", now: int) -> None:
         r.state = PowerState.DRAINING
+        # caller guarantees gated + was ACTIVE, hence a current candidate
+        self._drain_candidates.pop(self._gated_index[r.node], None)
+        self._cand_skip.pop(r.node, None)
         self._token += 1
         prog = DrainProgress(started=now, token=self._token)
         for d in r.mesh_ports:
@@ -225,7 +316,9 @@ class HandshakeController:
 
     def _abort_drain(self, r: "Router", now: int) -> None:
         prog = self._drainers.pop(r.node, None)
-        r.state = PowerState.ACTIVE
+        r.state = PowerState.ACTIVE  # always DRAINING at every call site
+        if r.node in self.gated_cores:
+            self._drain_candidates[self._gated_index[r.node]] = r
         if prog is None:
             return
         for d in r.mesh_ports:
@@ -398,6 +491,15 @@ class HandshakeController:
 
     def _commit_active(self, r: "Router", now: int) -> None:
         r.state = PowerState.ACTIVE
+        if r.node in self.gated_cores:
+            # woken for a delivery while its core is still OS-gated: it is
+            # a drain candidate again once it re-idles
+            self._drain_candidates[self._gated_index[r.node]] = r
+        # a router woken with work queued at its NI must re-enter the
+        # kernel's active scan (belt-and-braces: the enqueue site already
+        # flags it, and the lazy clear never unflags a router with work)
+        r._active = True
+        self.net._active_mask |= r._bit
         # restart the idle window: the paper's drain condition is "no local
         # traffic for idle_threshold cycles" — without this, a router woken
         # for a pending delivery re-drains before the packet can arrive
@@ -487,6 +589,7 @@ class HandshakeController:
             return
         if r.neighbor_id(d) == src and state is not None:
             r.psr[d] = state
+            r._psr_epoch += 1
 
     def _on_drain(self, now: int, r: "Router", msg: Msg) -> None:
         src = msg.src
@@ -497,6 +600,7 @@ class HandshakeController:
         self._set_psr(r, src, PowerState.DRAINING)
         if r.logical[d] == src:
             r.logical_psr[d] = PowerState.DRAINING
+            r._psr_epoch += 1
         if r.state == PowerState.DRAINING:
             # Draining-Draining between partners: lower id proceeds.
             if r.node > src:
@@ -522,6 +626,7 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is not None and r.logical[d] == src:
             r.logical_psr[d] = PowerState.ACTIVE
+            r._psr_epoch += 1
         self._obligations.pop((r.node, src), None)
 
     def _on_drain_done(self, now: int, r: "Router", msg: Msg) -> None:
@@ -549,6 +654,7 @@ class HandshakeController:
         r.logical[d] = beyond
         r.logical_psr[d] = (beyond_state if beyond_state is not None
                             else PowerState.ACTIVE)
+        r._psr_epoch += 1
         if r.powered and r.logical[d] != src:
             # we are the (new) logical upstream: adopt the sleeper's credit
             # view of the new downstream
@@ -588,6 +694,7 @@ class HandshakeController:
             # src is now the nearest (about-to-be-powered) router toward d
             r.logical[d] = src
             r.logical_psr[d] = PowerState.WAKEUP
+            r._psr_epoch += 1
         token = msg.payload[1] if len(msg.payload) > 1 else 0
         if not r.powered:
             # Relay copies just refresh pointers — but if we are the
@@ -618,6 +725,7 @@ class HandshakeController:
             return
         r.logical[d] = src
         r.logical_psr[d] = PowerState.ACTIVE
+        r._psr_epoch += 1
         # src is now the nearest powered router toward d: anything we send
         # stops there, so silence owed to any farther waker transfers to
         # src's own handshake — clear every pause in this direction
@@ -643,6 +751,7 @@ class HandshakeController:
         r.logical[d] = beyond
         r.logical_psr[d] = (beyond_state if beyond_state is not None
                             else PowerState.ACTIVE)
+        r._psr_epoch += 1
 
     def _on_wake_req(self, now: int, r: "Router", msg: Msg) -> None:
         if r.state == PowerState.SLEEP:

@@ -69,6 +69,10 @@ class Hold:
 
 Decision = Route | Hold
 
+#: interned no-wake-target Hold — the common "wait a cycle" decision on
+#: the VA hot path (Hold is frozen, so sharing one instance is safe)
+_HOLD = Hold()
+
 
 def _path_open(rv: RouterView, d: Direction) -> bool:
     """May a *new* packet be launched in direction ``d``?
@@ -112,7 +116,7 @@ def _route_cardinal(rv: RouterView, d: Direction, dest: int) -> Decision:
         return Hold(wake_target=dest)
     if _path_open(rv, d):
         return Route(d)
-    return Hold()
+    return _HOLD
 
 
 def flov_route(rv: RouterView, dest_x: int, dest_y: int, dest: int,
@@ -133,13 +137,13 @@ def flov_route(rv: RouterView, dest_x: int, dest_y: int, dest: int,
     # Both turn candidates power-gated (or transitioning): head East toward
     # the AON column, never back the way we came.
     if in_dir == Direction.EAST:
-        return Hold()
+        return _HOLD
     if not rv.has_neighbor(Direction.EAST):
         # Only possible when the AON column is not the east edge; wait.
-        return Hold()
+        return _HOLD
     if _path_open(rv, Direction.EAST):
         return Route(Direction.EAST)
-    return Hold()
+    return _HOLD
 
 
 def escape_route(rv: RouterView, dest_x: int, dest_y: int, dest: int) -> Decision:
@@ -158,7 +162,7 @@ def escape_route(rv: RouterView, dest_x: int, dest_y: int, dest: int) -> Decisio
         d = yd
     if _path_open(rv, d):
         return Route(d)
-    return Hold()
+    return _HOLD
 
 
 #: Turns forbidden in the escape sub-network (Figure 4b). A turn is the

@@ -82,19 +82,24 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
                   seed: int = 1, schedule: GatingSchedule | None = None,
                   keep_samples: bool = False,
                   drain: bool = True,
+                  kernel: str | None = None,
                   **config_overrides) -> ExperimentResult:
     """Run one synthetic-traffic experiment and collect metrics.
 
     ``schedule`` overrides the default static gating of
     ``gated_fraction`` (used by the reconfiguration-timeline experiment).
-    Extra keyword arguments override :class:`NoCConfig` fields.
+    ``kernel`` selects the simulation kernel (``active``/``dense``,
+    default: the ``REPRO_KERNEL`` environment variable) — results are
+    bit-identical either way, so it is deliberately *not* part of the
+    experiment cache key.  Extra keyword arguments override
+    :class:`NoCConfig` fields.
     """
     dw, dm = default_cycles()
     warmup = dw if warmup is None else warmup
     measure = dm if measure is None else measure
 
     cfg = NoCConfig(mechanism=mechanism, seed=seed, **config_overrides)
-    net = Network(cfg, keep_samples=keep_samples)
+    net = Network(cfg, keep_samples=keep_samples, kernel=kernel)
     if schedule is None:
         schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
     net.set_gating(schedule)

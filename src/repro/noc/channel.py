@@ -5,12 +5,37 @@ explicit arrival cycle; the receiver drains all items whose arrival cycle
 has been reached. This models fixed-latency pipelined wires with one
 flit/cycle bandwidth (enforced by the sender, which can issue at most one
 switch traversal per output port per cycle).
+
+Event-wheel integration (the activity-driven kernel)
+----------------------------------------------------
+
+Under ``REPRO_KERNEL=active`` the network binds every wired channel to a
+*timing wheel* — a ``dict[arrival_cycle, list[channel]]`` owned by the
+:class:`~repro.noc.network.Network`.  A channel registers itself in the
+wheel bucket of its **head arrival cycle** the moment it goes from empty
+to non-empty; the kernel then only visits channels whose head is due at
+``now`` instead of scanning every channel of every router each cycle.
+
+Registration invariants (kept deliberately loose so standalone channels
+and direct test manipulation keep working):
+
+* ``scheduled`` means "this channel appears in exactly one wheel bucket".
+* The kernel drains every due item when it pops a bucket, then either
+  re-registers the channel at its new head arrival or clears
+  ``scheduled``.  A bucket entry whose channel turns out to be empty or
+  not-yet-due (possible after :meth:`clear` or a manual
+  :meth:`receive`) is simply re-filed or dropped — never an error.
+* All simulator send sites use strictly future arrivals, so a bucket for
+  a past cycle can never be left behind by normal operation.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Iterator, TypeVar
+from typing import TYPE_CHECKING, Generic, Iterator, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .router import Router
 
 T = TypeVar("T")
 
@@ -18,23 +43,49 @@ T = TypeVar("T")
 class DelayChannel(Generic[T]):
     """A fixed-latency, order-preserving delay line."""
 
-    __slots__ = ("latency", "_q")
+    __slots__ = ("latency", "_q", "wheel", "sink", "sink_dir", "scheduled")
 
     def __init__(self, latency: int = 1) -> None:
         if latency < 1:
             raise ValueError("channel latency must be >= 1")
         self.latency = latency
         self._q: deque[tuple[int, T]] = deque()
+        #: timing wheel this channel registers arrivals into (None when
+        #: unbound: standalone use or the dense reference kernel)
+        self.wheel: dict[int, list["DelayChannel[T]"]] | None = None
+        #: receiving router / port, bound by the network at wiring time
+        self.sink: "Router | None" = None
+        self.sink_dir = None
+        #: True while this channel sits in some wheel bucket
+        self.scheduled = False
+
+    def bind(self, wheel: dict[int, list["DelayChannel[T]"]] | None,
+             sink: "Router", sink_dir) -> None:
+        """Attach the receiving endpoint (and optionally a timing wheel)."""
+        self.wheel = wheel
+        self.sink = sink
+        self.sink_dir = sink_dir
 
     def send(self, item: T, now: int) -> None:
         """Enqueue ``item`` at cycle ``now``; arrives ``now + latency``."""
-        self._q.append((now + self.latency, item))
+        self.send_at(item, now + self.latency)
 
     def send_at(self, item: T, arrival: int) -> None:
         """Enqueue with an explicit arrival cycle (must be monotone)."""
-        if self._q and self._q[-1][0] > arrival:
+        q = self._q
+        if q and q[-1][0] > arrival:
             raise ValueError("channel arrivals must be monotone")
-        self._q.append((arrival, item))
+        q.append((arrival, item))
+        if not self.scheduled:
+            wheel = self.wheel
+            if wheel is not None:
+                self.scheduled = True
+                head = q[0][0]
+                bucket = wheel.get(head)
+                if bucket is None:
+                    wheel[head] = [self]
+                else:
+                    bucket.append(self)
 
     def receive(self, now: int) -> list[T]:
         """Pop and return every item whose arrival cycle is <= ``now``."""
@@ -49,7 +100,11 @@ class DelayChannel(Generic[T]):
         return iter(self._q)
 
     def clear(self) -> None:
-        """Drop everything in flight (power-state reconfiguration only)."""
+        """Drop everything in flight (power-state reconfiguration only).
+
+        A stale wheel registration may remain; the kernel drops it when
+        the bucket comes due (see the module docstring invariants).
+        """
         self._q.clear()
 
     def __len__(self) -> int:
@@ -62,6 +117,10 @@ class DelayChannel(Generic[T]):
 class CreditChannel(DelayChannel[int]):
     """Credit return wire. Items are global VC indices being credited."""
 
+    __slots__ = ()
+
 
 class ControlChannel(DelayChannel["object"]):
     """Out-of-band handshake wire between adjacent routers (1 cycle)."""
+
+    __slots__ = ()

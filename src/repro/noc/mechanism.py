@@ -35,6 +35,10 @@ class Mechanism:
         self._all_vcs = {
             v: [self.cfg.vc_index(v, i) for i in range(self.cfg.vcs_per_vnet)]
             for v in range(self.cfg.num_vnets)}
+        #: lazily-built flat [node * N + dest] YX decision table (the
+        #: baseline routing function is static, so every decision can be
+        #: precomputed once instead of re-derived per head per cycle)
+        self._yx_table: list[Decision] | None = None
 
     def setup(self) -> None:
         """Called once after the network is fully wired."""
@@ -48,9 +52,20 @@ class Mechanism:
 
     def route(self, router: "Router", head: Flit, in_dir: Direction,
               now: int) -> Decision:
+        table = self._yx_table
+        if table is None:
+            table = self._build_yx_table()
+        return table[router.node * self.cfg.num_routers + head.packet.dest]
+
+    def _build_yx_table(self) -> list[Decision]:
         from ..baselines.yx import yx_route
-        dx, dy = self.cfg.node_xy(head.packet.dest)
-        return yx_route(router.x, router.y, dx, dy)
+        cfg = self.cfg
+        n = cfg.num_routers
+        xy = [cfg.node_xy(i) for i in range(n)]
+        self._yx_table = table = [
+            yx_route(sx, sy, dx, dy)
+            for sx, sy in xy for dx, dy in xy]
+        return table
 
     def allowed_vcs(self, router: "Router", pkt: Packet) -> list[int]:
         """Downstream VCs a head flit may be allocated into."""

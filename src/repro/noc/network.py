@@ -1,4 +1,4 @@
-"""Mesh network: topology wiring and the cycle-driven simulation kernel.
+"""Mesh network: topology wiring and the simulation kernel(s).
 
 Per-cycle phase order (cycle accuracy contract):
 
@@ -11,9 +11,28 @@ Per-cycle phase order (cycle accuracy contract):
 4. Flits are delivered into input buffers (or fly over sleeping routers).
 5. Every powered router with work evaluates: escape-timeout escalation,
    NI injection, VC allocation, switch allocation + traversal.
+
+Two kernels implement this contract with bit-identical results:
+
+* ``active`` (default) — an *activity-driven* kernel.  Credit/flit
+  delivery walks a timing wheel (``dict[cycle, list[channel]]``) so only
+  channels with items due *now* are touched, and the evaluation phase
+  visits only routers on the *active set* (routers with buffered flits
+  or pending NI injections).  Sleeping FLOV routers carry no work, fall
+  out of the loop entirely, and are serviced purely by the delivery
+  phase's fly-over relay.
+* ``dense`` — the original reference kernel: every router, every
+  channel, every cycle.  Kept behind ``REPRO_KERNEL=dense`` so the
+  equivalence suite can assert identical :class:`StatsCollector` output.
+
+Kernel choice never changes results, so on-disk experiment cache entries
+are kernel-independent by construction.
 """
 
 from __future__ import annotations
+
+import os
+from bisect import bisect_left
 
 from ..config import NoCConfig, PowerConfig
 from ..gating.schedule import GatingSchedule
@@ -23,6 +42,9 @@ from .mechanism import BaselineMechanism, Mechanism
 from .router import Router
 from .stats import StatsCollector
 from .types import OPPOSITE, Direction, Flit, Packet, make_packet
+
+#: valid values for the ``REPRO_KERNEL`` environment knob
+KERNELS = ("active", "dense")
 
 
 def _mechanism_class(name: str) -> type[Mechanism]:
@@ -43,13 +65,26 @@ def _mechanism_class(name: str) -> type[Mechanism]:
     raise ValueError(f"unknown mechanism {name!r}")
 
 
+def default_kernel() -> str:
+    """Kernel selected by the ``REPRO_KERNEL`` environment variable."""
+    kernel = os.environ.get("REPRO_KERNEL", "active")
+    if kernel not in KERNELS:
+        raise ValueError(f"REPRO_KERNEL must be one of {KERNELS}, "
+                         f"got {kernel!r}")
+    return kernel
+
+
 class Network:
     """An ``width x height`` mesh NoC with a pluggable gating mechanism."""
 
     def __init__(self, cfg: NoCConfig, pcfg: PowerConfig | None = None, *,
-                 keep_samples: bool = False) -> None:
+                 keep_samples: bool = False, kernel: str | None = None) -> None:
         self.cfg = cfg
         self.pcfg = pcfg if pcfg is not None else power_config_for(cfg)
+        self.kernel = default_kernel() if kernel is None else kernel
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, "
+                             f"got {self.kernel!r}")
         self.cycle = 0
         self.injection_frozen = False
         num_links = 2 * ((cfg.width - 1) * cfg.height
@@ -58,14 +93,33 @@ class Network:
                                            num_routers=cfg.num_routers)
         self.stats = StatsCollector(cfg.router_latency,
                                     keep_samples=keep_samples)
+        #: flits currently inside the fabric (input buffers + links);
+        #: +1 on NI injection, -1 on ejection / ring extraction.  Makes
+        #: :meth:`network_drained` O(1) for the drain protocols that poll
+        #: it every reconfiguration epoch.
+        self._flits = 0
+        #: timing wheels: arrival cycle -> channels with that head arrival
+        self._flit_wheel: dict[int, list] = {}
+        self._credit_wheel: dict[int, list] = {}
+        #: bitmask mirror of the routers' ``_active`` flags (bit = node id)
+        #: — the evaluation scan walks set bits instead of all routers
+        self._active_mask = (1 << cfg.num_routers) - 1
         self.routers: list[Router] = [Router(self, n)
                                       for n in range(cfg.num_routers)]
         self._wire()
         self.mech: Mechanism = _mechanism_class(cfg.mechanism)(self)
         self.mech.setup()
+        for r in self.routers:  # hot-path caches (see Router.__init__)
+            r.mech = self.mech
+            r._uses_escape = self.mech.uses_escape
         self.gating: GatingSchedule = GatingSchedule()
         self._change_points: tuple[int, ...] = ()
+        #: advancing cursor into the sorted change points (no per-cycle
+        #: membership scan)
+        self._cp_idx = 0
         self._pid = 0
+        self._step_one = (self._step_active if self.kernel == "active"
+                          else self._step_dense)
 
     # -- construction --------------------------------------------------------
 
@@ -73,6 +127,11 @@ class Network:
         from .channel import CreditChannel, DelayChannel
 
         cfg = self.cfg
+        # The dense reference kernel scans router channel dicts directly;
+        # leaving its channels unbound keeps send_at on the plain-append
+        # fast path and the wheels empty.
+        fw = self._flit_wheel if self.kernel == "active" else None
+        cw = self._credit_wheel if self.kernel == "active" else None
         for r in self.routers:
             for d in (Direction.NORTH, Direction.EAST):
                 nb_id = r.neighbor_id(d)
@@ -84,15 +143,19 @@ class Network:
                 rev: DelayChannel[Flit] = DelayChannel(cfg.link_latency)
                 r.out_flit[d] = fwd
                 nb.in_flit[od] = fwd
+                fwd.bind(fw, nb, od)
                 nb.out_flit[od] = rev
                 r.in_flit[d] = rev
+                rev.bind(fw, r, d)
                 # credits for flits r -> nb flow back on nb.out_credit[od]
                 cr_fwd = CreditChannel(cfg.credit_latency)
                 cr_rev = CreditChannel(cfg.credit_latency)
                 nb.out_credit[od] = cr_fwd
                 r.in_credit[d] = cr_fwd
+                cr_fwd.bind(cw, r, d)
                 r.out_credit[d] = cr_rev
                 nb.in_credit[od] = cr_rev
+                cr_rev.bind(cw, nb, od)
 
     def router_at(self, x: int, y: int) -> Router:
         return self.routers[self.cfg.node_id(x, y)]
@@ -103,6 +166,8 @@ class Network:
         """Install an OS core-gating schedule (before the first step)."""
         self.gating = schedule
         self._change_points = tuple(schedule.change_points)
+        # change points already behind the current cycle can never fire
+        self._cp_idx = bisect_left(self._change_points, self.cycle)
         self.mech.on_schedule_change(self.cycle,
                                      schedule.gated_at(self.cycle))
 
@@ -130,13 +195,29 @@ class Network:
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by ``cycles`` cycles."""
+        step_one = self._step_one
         for _ in range(cycles):
-            self._step_one()
+            step_one()
 
-    def _step_one(self) -> None:
-        now = self.cycle
-        if now in self._change_points:
+    def _fire_schedule_changes(self, now: int) -> None:
+        """Advance the change-point cursor; fire the handler at a match."""
+        cps = self._change_points
+        i = self._cp_idx
+        n = len(cps)
+        while i < n and cps[i] < now:
+            i += 1
+        if i < n and cps[i] == now:
+            i += 1
+            self._cp_idx = i
             self.mech.on_schedule_change(now, self.gating.gated_at(now))
+        else:
+            self._cp_idx = i
+
+    def _step_dense(self) -> None:
+        """Reference kernel: visit every router and channel, every cycle."""
+        now = self.cycle
+        if self._cp_idx < len(self._change_points):
+            self._fire_schedule_changes(now)
         self.mech.step(now)
         routers = self.routers
         for r in routers:
@@ -151,6 +232,83 @@ class Network:
                     r.deliver_flit(q.popleft()[1], d, now)
         for r in routers:
             r.evaluate(now)
+        self.cycle = now + 1
+
+    def _step_active(self) -> None:
+        """Activity-driven kernel: due channels and active routers only.
+
+        Bit-identical to :meth:`_step_dense` because (a) same-cycle
+        deliveries commute — they only mutate the receiving router or
+        schedule strictly-future channel arrivals — and (b) the
+        evaluation scan preserves ascending node order, including
+        routers activated mid-phase by upstream ejection sinks.
+        """
+        now = self.cycle
+        if self._cp_idx < len(self._change_points):
+            self._fire_schedule_changes(now)
+        self.mech.step(now)
+
+        wheel = self._credit_wheel
+        bucket = wheel.pop(now, None)
+        if bucket is not None:
+            for ch in bucket:
+                q = ch._q
+                if q and q[0][0] <= now:
+                    deliver = ch.sink.deliver_credit
+                    d = ch.sink_dir
+                    while q and q[0][0] <= now:
+                        deliver(q.popleft()[1], d, now)
+                if q:  # still in flight: re-file at the new head arrival
+                    head = q[0][0]
+                    nxt = wheel.get(head)
+                    if nxt is None:
+                        wheel[head] = [ch]
+                    else:
+                        nxt.append(ch)
+                else:
+                    ch.scheduled = False
+
+        wheel = self._flit_wheel
+        bucket = wheel.pop(now, None)
+        if bucket is not None:
+            for ch in bucket:
+                q = ch._q
+                if q and q[0][0] <= now:
+                    deliver = ch.sink.deliver_flit
+                    d = ch.sink_dir
+                    while q and q[0][0] <= now:
+                        deliver(q.popleft()[1], d, now)
+                if q:
+                    head = q[0][0]
+                    nxt = wheel.get(head)
+                    if nxt is None:
+                        wheel[head] = [ch]
+                    else:
+                        nxt.append(ch)
+                else:
+                    ch.scheduled = False
+
+        # Active-router scan, ascending node order.  The mask (mirroring
+        # the routers' ``_active`` flags) is set by every work-arrival
+        # site (buffer push, NI enqueue) and cleared lazily here once a
+        # router runs out of work.  Re-reading the live mask each
+        # iteration picks up routers activated during this very phase
+        # (ejection sinks injecting downstream) exactly like a dense
+        # ascending scan of the flags would.
+        routers = self.routers
+        i = 0
+        while True:
+            rem = self._active_mask >> i
+            if not rem:
+                break
+            i += (rem & -rem).bit_length() - 1
+            r = routers[i]
+            if r.occupancy == 0 and r.ni._pending == 0:
+                self._active_mask &= ~(1 << i)
+                r._active = False
+            else:
+                r.evaluate(now)
+            i += 1
         self.cycle = now + 1
 
     def run(self, cycles: int) -> None:
@@ -208,8 +366,20 @@ class Network:
             ch = self.routers[node].out_credit.get(od)
             if ch is not None:
                 ch.clear()
+
     def network_drained(self) -> bool:
-        """True when no flits exist in buffers or on links (NIs excluded)."""
+        """True when no flits exist in buffers or on links (NIs excluded).
+
+        O(1): reads the maintained in-fabric flit counter instead of
+        re-scanning every buffer and channel (compare
+        :meth:`network_drained_slow`, kept as the auditable reference).
+        """
+        return self._flits == 0
+
+    def network_drained_slow(self) -> bool:
+        """Reference implementation of :meth:`network_drained` by
+        exhaustive scan; the invariant suite cross-checks the counter
+        against this."""
         for r in self.routers:
             if r.occupancy:
                 return False

@@ -106,6 +106,27 @@ class EnergyAccountant:
     def on_credit_relay(self) -> None:
         self.credit_relays += 1
 
+    # combined per-flit events: the switch-traversal and fly-over hot
+    # paths fire two/three counters per flit — one bound call instead of
+    # three keeps the kernel's per-event overhead down without changing
+    # any counter semantics
+
+    def on_st_local(self) -> None:
+        """Switch traversal into the local ejection port."""
+        self.buffer_reads += 1
+        self.xbar_traversals += 1
+
+    def on_st_link(self) -> None:
+        """Switch traversal onto an outgoing mesh link."""
+        self.buffer_reads += 1
+        self.xbar_traversals += 1
+        self.link_traversals += 1
+
+    def on_flov_hop(self) -> None:
+        """One fly-over latch-and-forward hop."""
+        self.flov_latches += 1
+        self.link_traversals += 1
+
     def on_handshake(self, hops: int = 1) -> None:
         self.handshake_hops += hops
 

@@ -52,13 +52,17 @@ class TrafficGenerator:
         if len(active) < 2 or self.pkt_prob == 0.0:
             return 0
         rng = self.rng
+        rnd = rng.random          # bound-method hoisting: this loop runs
+        prob = self.pkt_prob      # once per node per cycle and dominates
+        pattern = self.pattern    # the per-cycle fixed cost at low load
+        inject = net.inject_packet
         created = 0
         for src in active:
-            if rng.random() < self.pkt_prob:
-                dest = self.pattern(src, active, rng)
+            if rnd() < prob:
+                dest = pattern(src, active, rng)
                 if dest == src:
                     continue
-                net.inject_packet(src, dest)
+                inject(src, dest)
                 created += 1
         return created
 

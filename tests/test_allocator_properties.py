@@ -118,10 +118,9 @@ def test_sa_one_grant_per_output_and_input(monkeypatch, mechanism, gated):
     grants: list[tuple[int, int, object, object]] = []
     orig = Router._traverse
 
-    def spy(self, in_dir, vci, now):
-        grants.append((self.node, now, in_dir,
-                       self.ivc[in_dir][vci].out_port))
-        return orig(self, in_dir, vci, now)
+    def spy(self, in_dir, vci, vc, now):
+        grants.append((self.node, now, in_dir, vc.out_port))
+        return orig(self, in_dir, vci, vc, now)
 
     monkeypatch.setattr(Router, "_traverse", spy)
 
