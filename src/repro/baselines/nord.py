@@ -124,6 +124,10 @@ class NordMechanism(Mechanism):
                 r.last_local_activity = now
                 self.net.accountant.note_transition(now, frm="rp_sleep",
                                                     to="on")
+                tr = self.net._tracer
+                if tr is not None:
+                    tr.emit(now, "power", node, "SLEEP", "ACTIVE",
+                            "core_ungated", ())
                 self._broadcast_psr(node, PowerState.ACTIVE)
 
     def step(self, now: int) -> None:
@@ -139,12 +143,20 @@ class NordMechanism(Mechanism):
                     and not r.ni.pending_flits):
                 r.state = PowerState.DRAINING
                 self._draining.add(node)
+                tr = self.net._tracer
+                if tr is not None:
+                    tr.emit(now, "power", node, "ACTIVE", "DRAINING",
+                            "idle_drain", ())
                 self._broadcast_psr(node, PowerState.DRAINING)
         for node in list(self._draining):
             r = self.net.routers[node]
             if node not in self.gated_cores:
                 r.state = PowerState.ACTIVE
                 self._draining.discard(node)
+                tr = self.net._tracer
+                if tr is not None:
+                    tr.emit(now, "power", node, "DRAINING", "ACTIVE",
+                            "core_ungated", ())
                 self._broadcast_psr(node, PowerState.ACTIVE)
                 continue
             depth = cfg.buffer_depth
@@ -159,6 +171,10 @@ class NordMechanism(Mechanism):
                 self.net.accountant.note_transition(now, frm="on",
                                                     to="rp_sleep")
                 self._draining.discard(node)
+                tr = self.net._tracer
+                if tr is not None:
+                    tr.emit(now, "power", node, "DRAINING", "SLEEP",
+                            "drain_complete", ())
                 self._broadcast_psr(node, PowerState.SLEEP)
 
     def _neighbors_sending_to(self, r: "Router") -> bool:

@@ -118,15 +118,21 @@ class RouterParkingMechanism(Mechanism):
         root = min(on_nodes)
         self.tables = build_tables(cfg, on_nodes, root)
         acct = self.net.accountant
+        tr = self.net._tracer
         for node in new_parked - self.parked:
             r = self.net.routers[node]
             r.state = PowerState.SLEEP
             r.bypass_enabled = False
             acct.note_transition(now, frm="on", to="rp_sleep")
+            if tr is not None:
+                tr.emit(now, "power", node, "ACTIVE", "SLEEP", "rp_park", ())
         for node in self.parked - new_parked:
             r = self.net.routers[node]
             r.state = PowerState.ACTIVE
             r.bypass_enabled = True
+            if tr is not None:
+                tr.emit(now, "power", node, "SLEEP", "ACTIVE", "rp_unpark",
+                        ())
             # network is drained: buffers empty, credit state is pristine
             for d in r.mesh_ports:
                 r.credits[d] = [cfg.buffer_depth] * cfg.total_vcs

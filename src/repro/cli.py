@@ -14,6 +14,10 @@ Commands
     Run PARSEC profiles on the full-system CMP (Fig 8c/d style).
 ``trace``
     Record a synthetic workload to a trace file, or replay one.
+``run``
+    Run one synthetic experiment with the observability layer attached:
+    structured event traces (JSONL and/or Chrome-trace for Perfetto) and
+    sampled metrics (CSV/JSON).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -176,6 +180,43 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    from .harness import run_synthetic
+    from .obs import DEFAULT_CAPACITY, Tracer, write_chrome_trace
+
+    tracer = None
+    if args.trace or args.chrome_trace:
+        kinds = (args.trace_kinds.split(",") if args.trace_kinds else None)
+        tracer = Tracer(args.trace_capacity or DEFAULT_CAPACITY, kinds=kinds)
+    r = run_synthetic(args.mechanism, pattern=args.pattern, rate=args.rate,
+                      gated_fraction=args.gated, warmup=args.warmup,
+                      measure=args.measure, seed=args.seed,
+                      width=args.width, height=args.height,
+                      kernel=args.kernel or None,
+                      tracer=tracer, trace_path=args.trace or None,
+                      metrics_path=args.metrics or None,
+                      metrics_every=args.metrics_every)
+    print(f"mechanism          {r.mechanism}")
+    print(f"pattern/rate       {r.pattern} @ {r.rate}")
+    print(f"gated fraction     {r.gated_fraction:.0%} "
+          f"({r.sleeping_routers} routers asleep)")
+    print(f"packets measured   {r.packets}")
+    print(f"avg latency        {r.avg_latency:.2f} cycles")
+    if tracer is not None:
+        print(f"trace              {tracer.recorded} events recorded "
+              f"({tracer.dropped} dropped by the ring)")
+        if args.trace:
+            print(f"  jsonl            {args.trace}")
+        if args.chrome_trace:
+            n = write_chrome_trace(tracer.events(), args.chrome_trace)
+            print(f"  chrome trace     {args.chrome_trace} ({n} entries; "
+                  f"load in Perfetto / chrome://tracing)")
+    if args.metrics:
+        print(f"metrics            {args.metrics} "
+              f"(sampled every {args.metrics_every or 'default'} cycles)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -211,6 +252,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output file when recording")
     p.add_argument("--replay", default="",
                    help="trace file to replay instead of recording")
+
+    p = sub.add_parser(
+        "run", help="run one experiment with tracing/metrics attached")
+    _add_common(p)
+    p.add_argument("--kernel", default="", choices=["", "active", "dense"],
+                   help="simulation kernel (default: $REPRO_KERNEL)")
+    p.add_argument("--trace", default="",
+                   help="write structured events as JSONL to this path")
+    p.add_argument("--chrome-trace", default="",
+                   help="write a Perfetto/chrome://tracing JSON trace")
+    p.add_argument("--trace-kinds", default="",
+                   help="comma-separated event kinds to record (default all)")
+    p.add_argument("--trace-capacity", type=int, default=0,
+                   help="tracer ring capacity in events (default 2^20)")
+    p.add_argument("--metrics", default="",
+                   help="write sampled metrics (CSV, or JSON for *.json)")
+    p.add_argument("--metrics-every", type=int, default=None,
+                   help="sampling cadence in cycles (default 200)")
     return ap
 
 
@@ -222,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "parsec": cmd_parsec,
         "trace": cmd_trace,
+        "run": cmd_run,
     }[args.command]
     return handler(args)
 

@@ -129,6 +129,31 @@ class HandshakeController:
     def _router(self, node: int) -> "Router":
         return self.net.routers[node]
 
+    # -- observability (control plane is cold; one attribute test when off) --
+
+    def _partner_states(self, r: "Router") -> tuple:
+        """``(logical neighbor id, state name)`` per connected side.
+
+        Captured into SLEEP/ACTIVE commit events as the *ground truth* of
+        the handshake partners' states at the commit instant, so the
+        protocol-conformance suite can check the forbidden-combination
+        rules (no Draining-Draining / Draining-Wakeup between partners)
+        without reconstructing transient message crossings."""
+        out = []
+        for d in r.mesh_ports:
+            p = r.logical.get(d)
+            if p is not None:
+                out.append((p, self._router(p).state.name))
+        return tuple(out)
+
+    def _trace_power(self, now: int, r: "Router", frm: PowerState,
+                     to: PowerState, reason: str,
+                     partners: tuple = ()) -> None:
+        tr = self.net._tracer
+        if tr is not None:
+            tr.emit(now, "power", r.node, frm.name, to.name, reason,
+                    partners)
+
     def _send(self, now: int, src: int, dst: int, msg: Msg) -> None:
         """Schedule delivery of ``msg`` to ``dst``: 1 cycle per hop."""
         sx, sy = self.cfg.node_xy(src)
@@ -137,6 +162,9 @@ class HandshakeController:
         self._seq += 1
         heapq.heappush(self._heap, (now + max(hops, 1), self._seq, dst, msg))
         self.net.accountant.on_handshake(hops)
+        tr = self.net._tracer
+        if tr is not None:
+            tr.emit(now, "hs_send", src, msg.kind, dst)
 
     def _send_along(self, now: int, src: int, d: Direction, msg: Msg,
                     *, until: int | None) -> None:
@@ -184,7 +212,7 @@ class HandshakeController:
         for node in woken:
             r = self._router(node)
             if r.state == PowerState.DRAINING:
-                self._abort_drain(r, now)
+                self._abort_drain(r, now, reason="core_ungated")
             elif r.state == PowerState.SLEEP:
                 self._want_wake.setdefault(node, now)
         routers = self.net.routers
@@ -297,6 +325,8 @@ class HandshakeController:
 
     def _start_drain(self, r: "Router", now: int) -> None:
         r.state = PowerState.DRAINING
+        self._trace_power(now, r, PowerState.ACTIVE, PowerState.DRAINING,
+                          "idle_drain")
         # caller guarantees gated + was ACTIVE, hence a current candidate
         self._drain_candidates.pop(self._gated_index[r.node], None)
         self._cand_skip.pop(r.node, None)
@@ -314,9 +344,12 @@ class HandshakeController:
         if not prog.pending:  # fully isolated line (can't happen on a mesh)
             self._commit_sleep(r, now)
 
-    def _abort_drain(self, r: "Router", now: int) -> None:
+    def _abort_drain(self, r: "Router", now: int, *,
+                     reason: str = "abort", winner: int | None = None) -> None:
         prog = self._drainers.pop(r.node, None)
         r.state = PowerState.ACTIVE  # always DRAINING at every call site
+        self._trace_power(now, r, PowerState.DRAINING, PowerState.ACTIVE,
+                          reason if winner is None else f"{reason}:{winner}")
         if r.node in self.gated_cores:
             self._drain_candidates[self._gated_index[r.node]] = r
         if prog is None:
@@ -331,13 +364,13 @@ class HandshakeController:
             r = self._router(node)
             prog = self._drainers[node]
             if node not in self.gated_cores or r.ni.pending_flits:
-                self._abort_drain(r, now)
+                self._abort_drain(r, now, reason="local_work")
                 continue
             if now - prog.started > self.drain_watchdog:
                 # A drain that cannot finish is blocking a whole row/column;
                 # abort and back off so the congestion can dissipate before
                 # the next attempt (otherwise failed drains churn forever).
-                self._abort_drain(r, now)
+                self._abort_drain(r, now, reason="watchdog")
                 self._drain_backoff[r.node] = (
                     now + 4 * self.drain_watchdog + (r.node * 53) % 512)
                 continue
@@ -347,6 +380,10 @@ class HandshakeController:
             if not self._incoming_segments_clear(r):
                 continue
             self._drainers.pop(node)
+            m = self.net._metrics
+            if m is not None:
+                m.histogram("handshake.drain_duration").observe(
+                    now - prog.started)
             self._commit_sleep(r, now)
 
     def _incoming_segments_clear(self, r: "Router") -> bool:
@@ -377,6 +414,8 @@ class HandshakeController:
         if not r.buffers_empty():
             raise RuntimeError("sleep commit with occupied buffers")
         r.state = PowerState.SLEEP
+        self._trace_power(now, r, PowerState.DRAINING, PowerState.SLEEP,
+                          "drain_complete", self._partner_states(r))
         self.net.accountant.note_transition(now, frm="on", to="flov_sleep")
         zeros = (0,) * self.cfg.total_vcs
         for side in r.mesh_ports:
@@ -411,6 +450,8 @@ class HandshakeController:
         if r.state != PowerState.SLEEP or r.node in self._wakers:
             return
         r.state = PowerState.WAKEUP
+        self._trace_power(now, r, PowerState.SLEEP, PowerState.WAKEUP,
+                          "wakeup_start")
         self._token += 1
         prog = WakeProgress(started=now, token=self._token)
         for d in r.mesh_ports:
@@ -432,6 +473,10 @@ class HandshakeController:
             if prog.timer_end is not None:
                 if now >= prog.timer_end:
                     self._wakers.pop(node)
+                    m = self.net._metrics
+                    if m is not None:
+                        m.histogram("handshake.wakeup_latency").observe(
+                            now - prog.started)
                     self._commit_active(r, now)
                 continue
             if now - prog.started > self.wake_watchdog:
@@ -475,6 +520,8 @@ class HandshakeController:
     def _abort_wakeup(self, r: "Router", now: int) -> None:
         self._wakers.pop(r.node, None)
         r.state = PowerState.SLEEP
+        self._trace_power(now, r, PowerState.WAKEUP, PowerState.SLEEP,
+                          "watchdog")
         for side in r.mesh_ports:
             d = OPPOSITE[side]
             beyond = r.logical.get(d)
@@ -491,6 +538,8 @@ class HandshakeController:
 
     def _commit_active(self, r: "Router", now: int) -> None:
         r.state = PowerState.ACTIVE
+        self._trace_power(now, r, PowerState.WAKEUP, PowerState.ACTIVE,
+                          "wakeup_complete", self._partner_states(r))
         if r.node in self.gated_cores:
             # woken for a delivery while its core is still OS-gated: it is
             # a drain candidate again once it re-idles
@@ -566,6 +615,9 @@ class HandshakeController:
 
     def _handle(self, now: int, dst: int, msg: Msg) -> None:
         r = self._router(dst)
+        tr = self.net._tracer
+        if tr is not None:
+            tr.emit(now, "hs_recv", dst, msg.kind, msg.src)
         handler = getattr(self, f"_on_{msg.kind}")
         handler(now, r, msg)
 
@@ -583,13 +635,26 @@ class HandshakeController:
         db = r.distance_along(d, b)
         return da is not None and (db is None or da < db)
 
-    def _set_psr(self, r: "Router", src: int, state: PowerState | None) -> None:
+    def _set_psr(self, now: int, r: "Router", src: int,
+                 state: PowerState | None) -> None:
         d = self._dir_toward(r, src)
         if d is None:
             return
         if r.neighbor_id(d) == src and state is not None:
             r.psr[d] = state
             r._psr_epoch += 1
+            tr = self.net._tracer
+            if tr is not None:
+                tr.emit(now, "psr", r.node, "phys", d.name, state.name, -1)
+
+    def _trace_lpsr(self, now: int, r: "Router", d: Direction) -> None:
+        """Record a logical-PSR / logical-pointer update (call after the
+        write; reads the registers so payload == ground truth)."""
+        tr = self.net._tracer
+        if tr is not None:
+            p = r.logical.get(d)
+            tr.emit(now, "psr", r.node, "logical", d.name,
+                    r.logical_psr[d].name, -1 if p is None else p)
 
     def _on_drain(self, now: int, r: "Router", msg: Msg) -> None:
         src = msg.src
@@ -597,14 +662,16 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is None:
             return
-        self._set_psr(r, src, PowerState.DRAINING)
+        self._set_psr(now, r, src, PowerState.DRAINING)
         if r.logical[d] == src:
             r.logical_psr[d] = PowerState.DRAINING
             r._psr_epoch += 1
+            self._trace_lpsr(now, r, d)
         if r.state == PowerState.DRAINING:
             # Draining-Draining between partners: lower id proceeds.
             if r.node > src:
-                self._abort_drain(r, now)
+                self._abort_drain(r, now, reason="lost_arbitration",
+                                  winner=src)
                 self._obligations[(r.node, src)] = (d, "drain", token)
             # else: src will abort when our drain message reaches it.
             return
@@ -622,11 +689,12 @@ class HandshakeController:
 
     def _on_drain_abort(self, now: int, r: "Router", msg: Msg) -> None:
         src = msg.src
-        self._set_psr(r, src, PowerState.ACTIVE)
+        self._set_psr(now, r, src, PowerState.ACTIVE)
         d = self._dir_toward(r, src)
         if d is not None and r.logical[d] == src:
             r.logical_psr[d] = PowerState.ACTIVE
             r._psr_epoch += 1
+            self._trace_lpsr(now, r, d)
         self._obligations.pop((r.node, src), None)
 
     def _on_drain_done(self, now: int, r: "Router", msg: Msg) -> None:
@@ -644,7 +712,7 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is None:
             return
-        self._set_psr(r, src, PowerState.SLEEP)
+        self._set_psr(now, r, src, PowerState.SLEEP)
         cur = r.logical.get(d)
         if cur is not None and cur != src and self._nearer(r, d, cur, src):
             # a nearer router is our pointer; this farther sleep does not
@@ -655,6 +723,7 @@ class HandshakeController:
         r.logical_psr[d] = (beyond_state if beyond_state is not None
                             else PowerState.ACTIVE)
         r._psr_epoch += 1
+        self._trace_lpsr(now, r, d)
         if r.powered and r.logical[d] != src:
             # we are the (new) logical upstream: adopt the sleeper's credit
             # view of the new downstream
@@ -688,13 +757,14 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is None:
             return
-        self._set_psr(r, src, PowerState.WAKEUP)
+        self._set_psr(now, r, src, PowerState.WAKEUP)
         cur = r.logical.get(d)
         if cur is None or cur == src or self._nearer(r, d, src, cur):
             # src is now the nearest (about-to-be-powered) router toward d
             r.logical[d] = src
             r.logical_psr[d] = PowerState.WAKEUP
             r._psr_epoch += 1
+            self._trace_lpsr(now, r, d)
         token = msg.payload[1] if len(msg.payload) > 1 else 0
         if not r.powered:
             # Relay copies just refresh pointers — but if we are the
@@ -707,7 +777,7 @@ class HandshakeController:
                            Msg("drain_done", r.node, payload=(token,)))
             return
         if r.state == PowerState.DRAINING:
-            self._abort_drain(r, now)
+            self._abort_drain(r, now, reason="wakeup_wins", winner=src)
         r.pause(d, src)
         self._obligations[(r.node, src)] = (d, "wake", token)
 
@@ -716,7 +786,7 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is None:
             return
-        self._set_psr(r, src, PowerState.ACTIVE)
+        self._set_psr(now, r, src, PowerState.ACTIVE)
         r.unpause(d, src)
         cur = r.logical.get(d)
         if not (cur is None or cur == src or self._nearer(r, d, src, cur)):
@@ -726,6 +796,7 @@ class HandshakeController:
         r.logical[d] = src
         r.logical_psr[d] = PowerState.ACTIVE
         r._psr_epoch += 1
+        self._trace_lpsr(now, r, d)
         # src is now the nearest powered router toward d: anything we send
         # stops there, so silence owed to any farther waker transfers to
         # src's own handshake — clear every pause in this direction
@@ -742,7 +813,7 @@ class HandshakeController:
         d = self._dir_toward(r, src)
         if d is None:
             return
-        self._set_psr(r, src, PowerState.SLEEP)
+        self._set_psr(now, r, src, PowerState.SLEEP)
         self._obligations.pop((r.node, src), None)
         r.unpause(d, src)
         cur = r.logical.get(d)
@@ -752,10 +823,11 @@ class HandshakeController:
         r.logical_psr[d] = (beyond_state if beyond_state is not None
                             else PowerState.ACTIVE)
         r._psr_epoch += 1
+        self._trace_lpsr(now, r, d)
 
     def _on_wake_req(self, now: int, r: "Router", msg: Msg) -> None:
         if r.state == PowerState.SLEEP:
             self._want_wake.setdefault(r.node, now)
             self._try_wakeups(now)
         elif r.state == PowerState.DRAINING:
-            self._abort_drain(r, now)
+            self._abort_drain(r, now, reason="wake_req")

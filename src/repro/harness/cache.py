@@ -96,15 +96,23 @@ def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
         "gating_events": r.gating_events,
         "power_states": dict(r.power_states),
         "samples": [list(s) for s in r.samples],
+        "trace_path": r.trace_path,
+        "metrics": dict(r.metrics),
     }
 
 
 def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
-    """Inverse of :func:`result_to_dict` (bit-identical round-trip)."""
+    """Inverse of :func:`result_to_dict` (bit-identical round-trip).
+
+    Entries written before the observability fields existed simply fall
+    back to the dataclass defaults (``trace_path=None``, ``metrics={}``)
+    — no schema bump needed, since absence and default agree."""
     d = dict(data)
     d["breakdown"] = LatencyBreakdown(**d["breakdown"])
     d["power_states"] = dict(d["power_states"])
     d["samples"] = [tuple(s) for s in d["samples"]]
+    if "metrics" in d:
+        d["metrics"] = dict(d["metrics"])
     return ExperimentResult(**d)
 
 

@@ -61,6 +61,12 @@ class ExperimentResult:
     gating_events: int
     power_states: dict[str, int] = field(default_factory=dict)
     samples: list[tuple[int, int]] = field(default_factory=list)
+    #: path of the structured-event trace written for this run (None
+    #: when tracing was off — the default, and the only mode the result
+    #: cache ever stores)
+    trace_path: str | None = None
+    #: scalar metrics snapshot from an attached sampler ({} when off)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, float | str | int]:
         return {
@@ -83,6 +89,10 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
                   keep_samples: bool = False,
                   drain: bool = True,
                   kernel: str | None = None,
+                  tracer=None, trace_path: str | None = None,
+                  trace_kinds=None,
+                  sampler=None, metrics_every: int | None = None,
+                  metrics_path: str | None = None,
                   **config_overrides) -> ExperimentResult:
     """Run one synthetic-traffic experiment and collect metrics.
 
@@ -93,6 +103,18 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     bit-identical either way, so it is deliberately *not* part of the
     experiment cache key.  Extra keyword arguments override
     :class:`NoCConfig` fields.
+
+    Observability (opt-in; see :mod:`repro.obs` and
+    ``docs/observability.md``): pass a ``tracer``
+    (:class:`~repro.obs.Tracer`) to record structured events, or just a
+    ``trace_path`` to have one created and its events written there as
+    JSONL (``trace_kinds`` restricts the recorded event kinds).  Pass a
+    ``sampler`` (:class:`~repro.obs.NetworkSampler`) or a
+    ``metrics_every`` cadence to collect sampled metrics; the final
+    scalar snapshot lands in :attr:`ExperimentResult.metrics`, and
+    ``metrics_path`` additionally writes the sampled series to disk
+    (CSV, or the full registry JSON for ``*.json`` paths).  None of
+    these affect simulation results — only what gets observed.
     """
     dw, dm = default_cycles()
     warmup = dw if warmup is None else warmup
@@ -100,6 +122,19 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
 
     cfg = NoCConfig(mechanism=mechanism, seed=seed, **config_overrides)
     net = Network(cfg, keep_samples=keep_samples, kernel=kernel)
+    if tracer is None and (trace_path is not None or trace_kinds is not None):
+        from ..obs import Tracer
+        tracer = Tracer(kinds=trace_kinds)
+    if tracer is not None:
+        net.attach_tracer(tracer)
+    if sampler is None and (metrics_every is not None
+                            or metrics_path is not None):
+        from ..obs import DEFAULT_EVERY, NetworkSampler
+        sampler = NetworkSampler(
+            net, every=DEFAULT_EVERY if metrics_every is None
+            else metrics_every)
+    if sampler is not None:
+        net.attach_metrics(sampler)
     if schedule is None:
         schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
     net.set_gating(schedule)
@@ -122,6 +157,17 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     stats = net.stats
     power = rep.power_w(net.pcfg.cycle_time_s)
     states = net.power_states()
+    if tracer is not None and trace_path is not None:
+        from ..obs import write_jsonl
+        write_jsonl(tracer.events(), trace_path)
+    metrics = (dict(sampler.registry.scalar_snapshot())
+               if sampler is not None else {})
+    if sampler is not None and metrics_path is not None:
+        from ..obs import write_metrics_csv, write_metrics_json
+        if metrics_path.endswith(".json"):
+            write_metrics_json(sampler.registry, metrics_path)
+        else:
+            write_metrics_csv(sampler.registry, metrics_path)
     return ExperimentResult(
         mechanism=mechanism,
         pattern=pattern,
@@ -145,4 +191,6 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
         gating_events=net.accountant.gating_events,
         power_states=states,
         samples=list(stats.samples) if keep_samples else [],
+        trace_path=trace_path,
+        metrics=metrics,
     )

@@ -43,13 +43,17 @@ T = TypeVar("T")
 class DelayChannel(Generic[T]):
     """A fixed-latency, order-preserving delay line."""
 
-    __slots__ = ("latency", "_q", "wheel", "sink", "sink_dir", "scheduled")
+    __slots__ = ("latency", "_q", "wheel", "sink", "sink_dir", "scheduled",
+                 "sent")
 
     def __init__(self, latency: int = 1) -> None:
         if latency < 1:
             raise ValueError("channel latency must be >= 1")
         self.latency = latency
         self._q: deque[tuple[int, T]] = deque()
+        #: monotone count of items ever sent — the observability sampler
+        #: derives per-link utilization from deltas of this counter
+        self.sent = 0
         #: timing wheel this channel registers arrivals into (None when
         #: unbound: standalone use or the dense reference kernel)
         self.wheel: dict[int, list["DelayChannel[T]"]] | None = None
@@ -76,6 +80,7 @@ class DelayChannel(Generic[T]):
         if q and q[-1][0] > arrival:
             raise ValueError("channel arrivals must be monotone")
         q.append((arrival, item))
+        self.sent += 1
         if not self.scheduled:
             wheel = self.wheel
             if wheel is not None:

@@ -87,6 +87,14 @@ class Network:
                              f"got {self.kernel!r}")
         self.cycle = 0
         self.injection_frozen = False
+        #: observability hooks (opt-in; see ``repro.obs``): ``_tracer``
+        #: is mirrored onto every router so hot paths pay exactly one
+        #: ``is not None`` test; ``_metrics`` is read by the handshake
+        #: controllers for completion histograms; ``_obs_tick`` is the
+        #: sampler's per-cycle callback (None when no sampler attached)
+        self._tracer = None
+        self._metrics = None
+        self._obs_tick = None
         num_links = 2 * ((cfg.width - 1) * cfg.height
                          + (cfg.height - 1) * cfg.width)
         self.accountant = EnergyAccountant(self.pcfg, num_links=num_links,
@@ -160,6 +168,29 @@ class Network:
     def router_at(self, x: int, y: int) -> Router:
         return self.routers[self.cfg.node_id(x, y)]
 
+    # -- observability (opt-in; see repro.obs) --------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Start recording structured events into ``tracer``.
+
+        Pass ``None`` to detach.  The reference is mirrored onto every
+        router so the data-plane hook sites pay a single attribute test.
+        """
+        self._tracer = tracer
+        for r in self.routers:
+            r._tracer = tracer
+
+    def attach_metrics(self, sampler) -> None:
+        """Install a :class:`~repro.obs.sampler.NetworkSampler` (or any
+        object with ``on_cycle(now)`` and a ``registry``); ``None``
+        detaches.  The sampler is ticked once per simulated cycle."""
+        if sampler is None:
+            self._metrics = None
+            self._obs_tick = None
+        else:
+            self._metrics = sampler.registry
+            self._obs_tick = sampler.on_cycle
+
     # -- gating schedule ------------------------------------------------------
 
     def set_gating(self, schedule: GatingSchedule) -> None:
@@ -232,6 +263,9 @@ class Network:
                     r.deliver_flit(q.popleft()[1], d, now)
         for r in routers:
             r.evaluate(now)
+        obs = self._obs_tick
+        if obs is not None:
+            obs(now)
         self.cycle = now + 1
 
     def _step_active(self) -> None:
@@ -309,6 +343,9 @@ class Network:
             else:
                 r.evaluate(now)
             i += 1
+        obs = self._obs_tick
+        if obs is not None:
+            obs(now)
         self.cycle = now + 1
 
     def run(self, cycles: int) -> None:

@@ -13,6 +13,23 @@ from dataclasses import dataclass
 from .types import Packet
 
 
+@dataclass(frozen=True)
+class LatencyWindow:
+    """One aggregation window of the latency time series.
+
+    ``partial`` flags a window that the measurement horizon cut short
+    (its ``end`` exceeds the last sample's cycle): its average covers
+    fewer cycles than the nominal window length, so timeline plots and
+    tables should render it tentatively rather than as a full window.
+    """
+
+    start: int
+    end: int          # exclusive
+    avg: float
+    count: int
+    partial: bool
+
+
 @dataclass
 class LatencyBreakdown:
     """Average per-packet latency split into additive components."""
@@ -134,11 +151,38 @@ class StatsCollector:
                                 flov=flov, contention=max(0.0, contention))
 
     def windowed_latency(self, window: int) -> list[tuple[int, float]]:
-        """Average latency per time window; requires ``keep_samples``."""
+        """Average latency per time window; requires ``keep_samples``.
+
+        Back-compat wrapper around :meth:`latency_windows` returning the
+        historical ``(window_start, avg)`` pairs.  Note the final pair
+        may cover a *partial* window (the run rarely ends exactly on a
+        window boundary) — use :meth:`latency_windows` when that
+        distinction matters.
+        """
+        return [(w.start, w.avg) for w in self.latency_windows(window)]
+
+    def latency_windows(self, window: int,
+                        end: int | None = None) -> list[LatencyWindow]:
+        """Aggregate the latency samples into :class:`LatencyWindow` rows.
+
+        ``end`` is the measurement horizon (exclusive); it defaults to
+        the last sample's eject cycle + 1.  Any window whose nominal
+        ``end`` exceeds the horizon is flagged ``partial`` so consumers
+        can distinguish a genuinely quiet tail window from one that was
+        simply cut short.  Requires ``keep_samples``.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         if not self.keep_samples:
             raise RuntimeError("collector was created without keep_samples")
         buckets: dict[int, list[int]] = {}
         for t, lat in self.samples:
             buckets.setdefault(t // window, []).append(lat)
-        return [(w * window, sum(v) / len(v))
+        if end is None:
+            end = max(t for t, _ in self.samples) + 1 if self.samples else 0
+        return [LatencyWindow(start=w * window,
+                              end=(w + 1) * window,
+                              avg=sum(v) / len(v),
+                              count=len(v),
+                              partial=(w + 1) * window > end)
                 for w, v in sorted(buckets.items())]

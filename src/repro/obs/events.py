@@ -1,0 +1,120 @@
+"""Structured trace-event taxonomy for the observability layer.
+
+Every event is a :class:`TraceEvent` — a small named tuple
+``(cycle, kind, node, data)`` where ``data`` is a kind-specific payload
+tuple.  The payload field names for each kind are fixed by
+:data:`EVENT_FIELDS`; :meth:`TraceEvent.as_dict` flattens an event into
+a plain JSON-friendly mapping using those names, and
+:func:`event_from_dict` inverts it.
+
+Event kinds (see ``docs/observability.md`` for the full taxonomy):
+
+=================  ==========================================================
+kind               meaning / payload
+=================  ==========================================================
+``inject``         head flit entered the source router's LOCAL input port
+                   ``(pid, src, dest, size, vnet)``
+``eject``          tail flit left the network at the destination NI
+                   ``(pid, src, dest, latency)``
+``hop``            head flit buffered at a *powered* router
+                   ``(pid, from_dir, vc)``
+``flov_latch``     head flit traversed a power-gated router's fly-over latch
+                   ``(pid, from_dir)``
+``credit_relay``   a credit was relayed through a sleeping router
+                   ``(vc, from_dir)``
+``escape``         a packet escalated into the escape sub-network
+                   ``(pid,)``
+``power``          router power-FSM transition
+                   ``(frm, to, reason, partners)`` — ``partners`` is a tuple
+                   of ``(logical neighbor id, its state name)`` pairs
+                   captured at SLEEP/ACTIVE commits, else ``()``
+``psr``            power-state-register / logical-pointer update
+                   ``(scope, direction, state, pointer)`` — ``scope`` is
+                   ``"phys"`` or ``"logical"``; ``pointer`` is the logical
+                   neighbor id (``-1`` for physical PSRs / detached)
+``hs_send``        handshake control message scheduled ``(msg, dst)``
+``hs_recv``        handshake control message handled ``(msg, src)``
+=================  ==========================================================
+
+The direction / state payload entries are *names* (``"EAST"``,
+``"DRAINING"``) rather than enum members so events serialize to JSON
+without loss and traces stay human-greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+#: payload field names per event kind (order == payload tuple order)
+EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    "inject": ("pid", "src", "dest", "size", "vnet"),
+    "eject": ("pid", "src", "dest", "latency"),
+    "hop": ("pid", "from_dir", "vc"),
+    "flov_latch": ("pid", "from_dir"),
+    "credit_relay": ("vc", "from_dir"),
+    "escape": ("pid",),
+    "power": ("frm", "to", "reason", "partners"),
+    "psr": ("scope", "direction", "state", "pointer"),
+    "hs_send": ("msg", "dst"),
+    "hs_recv": ("msg", "src"),
+}
+
+#: every known event kind, in taxonomy order
+EVENT_KINDS: tuple[str, ...] = tuple(EVENT_FIELDS)
+
+#: kinds describing flit movement (the high-volume data-plane stream)
+FLIT_KINDS = frozenset({"inject", "eject", "hop", "flov_latch"})
+
+#: kinds describing the power-gating control plane
+CONTROL_KINDS = frozenset(
+    {"power", "psr", "hs_send", "hs_recv", "credit_relay", "escape"})
+
+
+class TraceEvent(NamedTuple):
+    """One structured observation: ``(cycle, kind, node, data)``."""
+
+    cycle: int
+    kind: str
+    node: int
+    data: tuple
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten into a JSON-friendly mapping with named payload fields."""
+        out: dict[str, Any] = {"cycle": self.cycle, "kind": self.kind,
+                               "node": self.node}
+        names = EVENT_FIELDS.get(self.kind)
+        if names is None:
+            out["data"] = _jsonable(self.data)
+        else:
+            for name, value in zip(names, self.data):
+                out[name] = _jsonable(value)
+        return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples -> lists, recursively (for JSON round-trips)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _tupled(value: Any) -> Any:
+    """Lists -> tuples, recursively (inverse of :func:`_jsonable`)."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
+def event_from_dict(doc: dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from :meth:`TraceEvent.as_dict` output.
+
+    Round-trips bit-identically for every known kind; unknown kinds fall
+    back to the raw ``data`` list.
+    """
+    kind = doc["kind"]
+    names = EVENT_FIELDS.get(kind)
+    if names is None:
+        data = _tupled(doc.get("data", []))
+    else:
+        data = tuple(_tupled(doc[name]) for name in names)
+    return TraceEvent(doc["cycle"], kind, doc["node"], data)

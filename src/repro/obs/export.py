@@ -1,0 +1,210 @@
+"""Trace and metrics exporters: JSONL, Chrome trace (Perfetto), CSV/JSON.
+
+Formats
+-------
+
+**JSONL** (``*.jsonl``)
+    One :meth:`TraceEvent.as_dict` object per line.  Lossless:
+    :func:`load_jsonl` rebuilds the exact event stream.
+
+**Chrome trace** (``*.json``)
+    The Chrome ``chrome://tracing`` / Perfetto JSON object format:
+    ``{"traceEvents": [...]}`` where each entry carries ``name``,
+    ``ph``, ``ts``, ``pid``, ``tid``.  Router power states are rendered
+    as complete (``"ph": "X"``) slices per router track; everything
+    else becomes thread-scoped instants (``"ph": "i"``).  Timestamps
+    are *cycles* interpreted as microseconds, which keeps Perfetto's
+    ruler readable (1 ms on screen = 1000 cycles).
+
+**Metrics CSV** (``*.csv``)
+    The registry's sampled time series: one row per sample, a stable
+    ``cycle``-first column order, blank cells for metrics that appeared
+    after earlier samples were taken.
+
+**Metrics JSON** (``*.json``)
+    ``MetricsRegistry.as_dict()``: full instrument detail (histogram
+    bucket bounds/counts) plus the sampled series.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Any, Iterable, Sequence
+
+from .events import TraceEvent, event_from_dict
+from .metrics import MetricsRegistry
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[TraceEvent], path_or_fh: str | IO[str]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    n = 0
+    with _open_w(path_or_fh) as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.as_dict(), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path_or_fh: str | IO[str]) -> list[TraceEvent]:
+    """Inverse of :func:`write_jsonl` (bit-identical round-trip)."""
+    with _open_r(path_or_fh) as fh:
+        return [event_from_dict(json.loads(line))
+                for line in fh if line.strip()]
+
+
+# -- Chrome trace -------------------------------------------------------------
+
+#: power states never closed by a transition are closed at the last
+#: event cycle + this margin, so open slices stay visible in Perfetto
+_OPEN_SLICE_MARGIN = 1
+
+
+def chrome_trace_events(events: Sequence[TraceEvent]) -> list[dict[str, Any]]:
+    """Convert a trace to Chrome-trace entries (pure; no I/O).
+
+    * ``power`` events become per-router state slices (``ph: "X"``).
+    * every other kind becomes a thread-scoped instant (``ph: "i"``).
+    * router *tracks* are threads (``tid`` = node id) of one process
+      (``pid`` 0), named via metadata events.
+    """
+    out: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "noc"}},
+    ]
+    nodes = sorted({ev.node for ev in events})
+    for node in nodes:
+        out.append({"name": "thread_name", "ph": "M", "pid": 0, "tid": node,
+                    "args": {"name": f"router {node}"}})
+
+    horizon = (events[-1].cycle if events else 0) + _OPEN_SLICE_MARGIN
+    open_state: dict[int, tuple[str, int]] = {}
+    for ev in events:
+        if ev.kind == "power":
+            frm, to = ev.data[0], ev.data[1]
+            start = open_state.pop(ev.node, None)
+            if start is not None:
+                name, t0 = start
+                out.append({"name": name, "ph": "X", "ts": t0,
+                            "dur": max(ev.cycle - t0, 0),
+                            "pid": 0, "tid": ev.node, "cat": "power",
+                            "args": {}})
+            elif ev.cycle > 0:
+                # state held since cycle 0 before its first transition
+                out.append({"name": frm, "ph": "X", "ts": 0,
+                            "dur": ev.cycle, "pid": 0, "tid": ev.node,
+                            "cat": "power", "args": {}})
+            open_state[ev.node] = (to, ev.cycle)
+            out.append({"name": f"{frm}->{to}", "ph": "i", "s": "t",
+                        "ts": ev.cycle, "pid": 0, "tid": ev.node,
+                        "cat": "power", "args": ev.as_dict()})
+        else:
+            out.append({"name": ev.kind, "ph": "i", "s": "t", "ts": ev.cycle,
+                        "pid": 0, "tid": ev.node, "cat": _category(ev.kind),
+                        "args": ev.as_dict()})
+    for node, (name, t0) in sorted(open_state.items()):
+        out.append({"name": name, "ph": "X", "ts": t0,
+                    "dur": max(horizon - t0, _OPEN_SLICE_MARGIN),
+                    "pid": 0, "tid": node, "cat": "power", "args": {}})
+    return out
+
+
+def _category(kind: str) -> str:
+    from .events import FLIT_KINDS
+    return "flit" if kind in FLIT_KINDS else "control"
+
+
+def write_chrome_trace(events: Sequence[TraceEvent],
+                       path_or_fh: str | IO[str]) -> int:
+    """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""
+    entries = chrome_trace_events(events)
+    doc = {"traceEvents": entries, "displayTimeUnit": "ms",
+           "otherData": {"source": "repro.obs", "time_unit": "cycles"}}
+    with _open_w(path_or_fh) as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(entries)
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Schema check for an exported Chrome trace; returns problem strings
+    (empty = valid).  Used by tests and the CI trace-smoke step."""
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    valid_ph = {"B", "E", "X", "i", "I", "C", "M", "b", "e", "n", "s", "t",
+                "f", "P"}
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid"):
+            if field not in ev:
+                problems.append(f"event {i}: missing {field!r}")
+        ph = ev.get("ph")
+        if ph not in valid_ph:
+            problems.append(f"event {i}: invalid ph {ph!r}")
+        if ph != "M":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"event {i}: missing/non-numeric ts")
+            if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+                problems.append(f"event {i}: X event without dur")
+    return problems
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def write_metrics_csv(registry: MetricsRegistry,
+                      path_or_fh: str | IO[str]) -> int:
+    """Write the sampled time series as CSV; returns rows written."""
+    rows = registry.rows
+    cols = ["cycle"] + sorted({k for row in rows for k in row} - {"cycle"})
+    with _open_w(path_or_fh, newline="") as fh:
+        w = csv.DictWriter(fh, fieldnames=cols, restval="")
+        w.writeheader()
+        for row in rows:
+            w.writerow(row)
+    return len(rows)
+
+
+def load_metrics_csv(path_or_fh: str | IO[str]) -> list[dict[str, float]]:
+    """Read a metrics CSV back into float-valued rows (blank -> absent)."""
+    with _open_r(path_or_fh, newline="") as fh:
+        return [{k: float(v) for k, v in row.items() if v != ""}
+                for row in csv.DictReader(fh)]
+
+
+def write_metrics_json(registry: MetricsRegistry,
+                       path_or_fh: str | IO[str]) -> None:
+    """Write the full registry dump (instruments + series) as JSON."""
+    with _open_w(path_or_fh) as fh:
+        json.dump(registry.as_dict(), fh, indent=1)
+
+
+# -- tiny path/filehandle adapter ---------------------------------------------
+
+
+class _Passthrough:
+    """Context manager that does not close a caller-owned file handle."""
+
+    def __init__(self, fh: IO[str]) -> None:
+        self.fh = fh
+
+    def __enter__(self) -> IO[str]:
+        return self.fh
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+def _open_w(target: str | IO[str], newline: str | None = None):
+    if isinstance(target, str):
+        return open(target, "w", newline=newline)
+    return _Passthrough(target)
+
+
+def _open_r(target: str | IO[str], newline: str | None = None):
+    if isinstance(target, str):
+        return open(target, newline=newline)
+    return _Passthrough(target)

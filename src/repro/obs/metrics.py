@@ -1,0 +1,186 @@
+"""Counters, gauges and histograms behind a :class:`MetricsRegistry`.
+
+The registry is Prometheus-flavoured but deliberately tiny: three
+instrument types, a cadence-driven ``sample()`` that snapshots every
+scalar into a row of a time series, and CSV/JSON export
+(:mod:`repro.obs.export`).  Instruments are created on first use
+(``registry.counter("x")``) so instrumented code never needs
+registration boilerplate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+#: default histogram bucket upper bounds (cycles / occupancy counts);
+#: roughly log-spaced, final implicit bucket is +inf
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative-free, exact sum/min/max).
+
+    ``bounds`` are inclusive upper edges; one extra overflow bucket
+    catches everything beyond the last bound.  ``counts[i]`` is the
+    number of observations ``v`` with ``bounds[i-1] < v <= bounds[i]``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        b = tuple(float(x) for x in bounds)
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        # inclusive upper edges: bisect_left finds the first bound
+        # >= value, i.e. the bucket that owns it; values beyond the last
+        # bound land in the overflow bucket (index len(bounds))
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the bucket holding
+        the q-th observation (conservative; exact for bucket edges)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                return (self.bounds[i] if i < len(self.bounds)
+                        else self.max)
+        return self.max
+
+
+class MetricsRegistry:
+    """Named instruments plus a sampled time series of their scalars.
+
+    ``sample(cycle)`` appends one row per call: counters and gauges
+    contribute their value under their own name; each histogram
+    contributes ``<name>.count`` / ``<name>.mean`` / ``<name>.max`` so
+    the CSV stays strictly scalar.  Full histogram detail (bucket
+    bounds and counts) lives in the JSON export.
+    """
+
+    def __init__(self) -> None:
+        self.instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self.rows: list[dict[str, float]] = []
+
+    # -- instrument access (create on first use) -----------------------------
+
+    def _get(self, name: str, cls, *args):
+        inst = self.instruments.get(name)
+        if inst is None:
+            inst = self.instruments[name] = cls(name, *args)
+        elif not isinstance(inst, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(inst).__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def scalar_snapshot(self) -> dict[str, float]:
+        """Every instrument reduced to CSV-friendly scalars."""
+        out: dict[str, float] = {}
+        for name, inst in self.instruments.items():
+            if isinstance(inst, Histogram):
+                out[f"{name}.count"] = inst.count
+                out[f"{name}.mean"] = inst.mean
+                out[f"{name}.max"] = inst.max if inst.count else 0.0
+            else:
+                out[name] = inst.value
+        return out
+
+    def sample(self, cycle: int) -> dict[str, float]:
+        """Append (and return) one time-series row for ``cycle``."""
+        row = {"cycle": float(cycle)}
+        row.update(self.scalar_snapshot())
+        self.rows.append(row)
+        return row
+
+    def as_dict(self) -> dict[str, Any]:
+        """Full JSON-ready dump: instrument detail + sampled series."""
+        return {
+            "instruments": {name: inst.as_dict()
+                            for name, inst in self.instruments.items()},
+            "samples": self.rows,
+        }

@@ -130,6 +130,22 @@ class EnergyAccountant:
     def on_handshake(self, hops: int = 1) -> None:
         self.handshake_hops += hops
 
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the dynamic event counters (observability hook:
+        the :class:`~repro.obs.sampler.NetworkSampler` mirrors these at
+        its sampling cadence instead of instrumenting the hot path)."""
+        return {
+            "buffer_writes": self.buffer_writes,
+            "buffer_reads": self.buffer_reads,
+            "xbar_traversals": self.xbar_traversals,
+            "arbitrations": self.arbitrations,
+            "link_traversals": self.link_traversals,
+            "flov_latches": self.flov_latches,
+            "credit_relays": self.credit_relays,
+            "handshake_hops": self.handshake_hops,
+            "gating_events": self.gating_events,
+        }
+
     # -- reporting ----------------------------------------------------------------
 
     def reset_window(self, now: int) -> None:

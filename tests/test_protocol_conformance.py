@@ -1,0 +1,210 @@
+"""Protocol-conformance soaks driven by the structured event stream.
+
+The FLOV handshake forbids certain state combinations (paper SS IV):
+
+* **rFLOV** — no two *physically adjacent* routers may be power-gated
+  simultaneously; the drain precondition (all physical neighbors
+  ACTIVE) plus Draining-Draining arbitration must guarantee it.
+* **gFLOV** — physical neighbors may sleep, but no two *handshake
+  partners* (logical neighbors) may be Draining-Draining or
+  Draining-Wakeup when a transition commits.
+* **Arbitration** — simultaneous partner drains resolve in favor of the
+  lower router id: every ``lost_arbitration`` abort names a winner with
+  a strictly smaller id.
+* **AON column** — the always-on escape column never leaves ACTIVE.
+
+Rather than poking simulator internals, these tests attach a
+:class:`repro.obs.Tracer` and assert the invariants over the recorded
+``power`` events, whose payloads carry ground truth captured at the
+transition instant (``partners`` = logical-neighbor states at commit,
+``reason`` = why, with the arbitration winner appended).  Randomized
+gated fractions / rates / seeds make each test a small soak.
+"""
+
+import random
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.gating.schedule import StaticGating, random_epochs
+from repro.noc.network import Network
+from repro.obs import Tracer
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import get_pattern
+
+#: states in which the baseline router datapath is off ("gated")
+GATED = {"SLEEP", "WAKEUP"}
+
+
+def _soak(mechanism, *, seed, cycles=4000, width=4, height=4,
+          schedule=None, rate=None):
+    """Run a traced random workload; returns (cfg, power events)."""
+    rng = random.Random(seed)
+    cfg = NoCConfig(mechanism=mechanism, width=width, height=height,
+                    seed=seed)
+    net = Network(cfg)
+    tracer = Tracer(kinds=("power",))
+    net.attach_tracer(tracer)
+    if schedule is None:
+        fraction = rng.choice((0.3, 0.5, 0.7))
+        schedule = StaticGating(cfg.num_routers, fraction, seed=seed)
+    net.set_gating(schedule)
+    if rate is None:
+        rate = rng.choice((0.01, 0.03, 0.06))
+    gen = TrafficGenerator(net, get_pattern("uniform", cfg), rate, seed=seed)
+    gen.run(cycles)
+    return cfg, tracer.events()
+
+
+def _adjacency(cfg):
+    adj = {n: set() for n in range(cfg.num_routers)}
+    for n in range(cfg.num_routers):
+        x, y = cfg.node_xy(n)
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            if 0 <= x + dx < cfg.width and 0 <= y + dy < cfg.height:
+                adj[n].add(cfg.node_id(x + dx, y + dy))
+    return adj
+
+
+def _replay_states(cfg, events):
+    """Yield (event, states-after-event) walking the power-event stream."""
+    states = {n: "ACTIVE" for n in range(cfg.num_routers)}
+    for ev in events:
+        frm, to = ev.data[0], ev.data[1]
+        assert states[ev.node] == frm, (
+            f"cycle {ev.cycle}: router {ev.node} transitioned from {frm} "
+            f"but the event stream says it was in {states[ev.node]}")
+        states[ev.node] = to
+        yield ev, states
+
+
+# -- rFLOV: no two adjacent routers simultaneously gated ----------------------
+
+@pytest.mark.parametrize("seed", range(6))
+def test_rflov_adjacent_routers_never_both_gated(seed):
+    cfg, events = _soak("rflov", seed=seed)
+    adj = _adjacency(cfg)
+    gated_seen = 0
+    for ev, states in _replay_states(cfg, events):
+        if states[ev.node] in GATED:
+            gated_seen += 1
+            bad = [nb for nb in adj[ev.node] if states[nb] in GATED]
+            assert not bad, (
+                f"cycle {ev.cycle}: router {ev.node} entered "
+                f"{states[ev.node]} while adjacent {bad} gated")
+    assert gated_seen, "soak never gated a router; invariant untested"
+
+
+@pytest.mark.parametrize("seed", (1, 2))
+def test_rflov_adjacency_invariant_under_epoch_gating(seed):
+    """Mid-run gated-set changes (wakeup storms + fresh drains)."""
+    sched = random_epochs(16, (0.3, 0.7, 0.5), (600, 1000), seed=seed)
+    cfg, events = _soak("rflov", seed=seed, cycles=4500, schedule=sched)
+    adj = _adjacency(cfg)
+    for ev, states in _replay_states(cfg, events):
+        if states[ev.node] in GATED:
+            assert not any(states[nb] in GATED for nb in adj[ev.node])
+
+
+# -- gFLOV: forbidden partner combinations at commit --------------------------
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gflov_no_draining_partner_at_sleep_commit(seed):
+    """A sleep commit ends a drain handshake: every logical partner must
+    have resolved out of DRAINING (Draining-Draining is id-arbitrated)
+    and out of WAKEUP (Draining-Wakeup: the wakeup side wins and the
+    drain aborts) before the drainer is allowed to power-gate."""
+    cfg, events = _soak("gflov", seed=seed)
+    commits = 0
+    for ev in events:
+        frm, to, reason, partners = ev.data
+        if to != "SLEEP" or reason != "drain_complete":
+            continue
+        commits += 1
+        assert partners, "sleep commit recorded no handshake partners"
+        bad = [(p, st) for p, st in partners if st in ("DRAINING", "WAKEUP")]
+        assert not bad, (
+            f"cycle {ev.cycle}: router {ev.node} committed SLEEP with "
+            f"mid-transition partners {bad}")
+    assert commits, "soak produced no sleep commits; invariant untested"
+
+
+@pytest.mark.parametrize("seed", (3, 4))
+def test_gflov_no_draining_partner_at_wakeup_commit(seed):
+    """ACTIVE commits (wakeup completion) must equally never observe a
+    DRAINING logical partner: a partner's drain either acked our wakeup
+    (aborting itself — wakeup wins) or never started."""
+    sched = random_epochs(16, (0.6, 0.2, 0.6), (700, 1100), seed=seed)
+    cfg, events = _soak("gflov", seed=seed, cycles=5000, schedule=sched,
+                        rate=0.04)
+    commits = 0
+    for ev in events:
+        frm, to, reason, partners = ev.data
+        if to != "ACTIVE" or reason != "wakeup_complete":
+            continue
+        commits += 1
+        bad = [(p, st) for p, st in partners if st == "DRAINING"]
+        assert not bad, (
+            f"cycle {ev.cycle}: router {ev.node} committed ACTIVE with "
+            f"draining partners {bad}")
+    assert commits, "soak produced no wakeup commits; invariant untested"
+
+
+# -- drain arbitration: lower id wins -----------------------------------------
+
+@pytest.mark.parametrize("mechanism", ("rflov", "gflov"))
+def test_drain_arbitration_lower_id_wins(mechanism):
+    """Scan seeds until arbitration actually fires, then check every
+    ``lost_arbitration`` abort names a strictly lower-id winner."""
+    losses = 0
+    for seed in range(12):
+        _, events = _soak(mechanism, seed=seed, cycles=3000, rate=0.005)
+        for ev in events:
+            reason = ev.data[2]
+            if not reason.startswith("lost_arbitration"):
+                continue
+            losses += 1
+            assert ev.data[0] == "DRAINING" and ev.data[1] == "ACTIVE"
+            winner = int(reason.split(":", 1)[1])
+            assert ev.node > winner, (
+                f"router {ev.node} lost drain arbitration to higher-id "
+                f"winner {winner}")
+        if losses:
+            break
+    assert losses, "no drain arbitration observed across 12 seeds"
+
+
+# -- AON column ---------------------------------------------------------------
+
+@pytest.mark.parametrize("mechanism", ("rflov", "gflov"))
+@pytest.mark.parametrize("seed", (0, 5))
+def test_aon_column_never_gates(mechanism, seed):
+    """The always-on (east) column must produce no power events at all,
+    even when the OS schedule gates every core."""
+    cfg = NoCConfig(mechanism=mechanism, width=4, height=4, seed=seed)
+    aon = {cfg.node_id(cfg.resolved_aon_column, y)
+           for y in range(cfg.height)}
+    sched = StaticGating(cfg.num_routers, 1.0, seed=seed)
+    cfg2, events = _soak(mechanism, seed=seed, schedule=sched)
+    assert cfg2.resolved_aon_column == cfg.resolved_aon_column
+    offenders = {ev.node for ev in events if ev.node in aon}
+    assert not offenders, f"AON routers {sorted(offenders)} changed state"
+    assert any(ev.node not in aon for ev in events), (
+        "full gating produced no transitions at all; soak is vacuous")
+
+
+# -- event-stream hygiene ------------------------------------------------------
+
+def test_power_event_stream_is_cycle_monotone_and_well_formed():
+    cfg, events = _soak("gflov", seed=7)
+    assert events, "no power events recorded"
+    last = -1
+    valid = {"ACTIVE", "DRAINING", "SLEEP", "WAKEUP"}
+    for ev in events:
+        assert ev.cycle >= last
+        last = ev.cycle
+        frm, to, reason, partners = ev.data
+        assert frm in valid and to in valid and frm != to
+        assert isinstance(reason, str) and reason
+        for p, st in partners:
+            assert 0 <= p < cfg.num_routers and st in valid
