@@ -177,6 +177,22 @@ def check(rows: list[dict], baseline_path: str, tolerance: float) -> int:
     return 0
 
 
+def snapshot_doc(rows: list[dict], repeats: int) -> dict:
+    """The on-disk snapshot document for a set of measured cells."""
+    return {
+        "schema": 1,
+        "benchmark": "bench_fig6_uniform cells, dense vs active kernel",
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "host": {"python": platform.python_version(),
+                 "platform": platform.platform(),
+                 "cpu_count": os.cpu_count()},
+        "workload": dict(WORKLOAD, mesh="8x8",
+                         repeats=repeats, timer="best-of-N"),
+        "cells": rows,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--repeats", type=int, default=3,
@@ -190,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
                          "instead of writing one")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional ratio drop in --check mode")
+    ap.add_argument("--emit", metavar="JSON",
+                    help="also write the freshly measured snapshot (works "
+                         "in --check mode; feed it to 'repro bench diff')")
     ap.add_argument("--seed-tree", metavar="PATH",
                     help="checkout of the pre-optimization commit; adds "
                          "seed_over_active ratios with provenance")
@@ -207,21 +226,16 @@ def main(argv: list[str] | None = None) -> int:
           f"(workload: {WORKLOAD})", file=sys.stderr)
     rows = measure(cells, args.repeats)
 
+    if args.emit:
+        with open(args.emit, "w") as fh:
+            json.dump(snapshot_doc(rows, args.repeats), fh, indent=2)
+            fh.write("\n")
+        print(f"emitted measured snapshot to {args.emit}", file=sys.stderr)
+
     if args.check:
         return check(rows, args.check, args.tolerance)
 
-    doc = {
-        "schema": 1,
-        "benchmark": "bench_fig6_uniform cells, dense vs active kernel",
-        "generated_utc": datetime.now(timezone.utc).isoformat(
-            timespec="seconds"),
-        "host": {"python": platform.python_version(),
-                 "platform": platform.platform(),
-                 "cpu_count": os.cpu_count()},
-        "workload": dict(WORKLOAD, mesh="8x8",
-                         repeats=args.repeats, timer="best-of-N"),
-        "cells": rows,
-    }
+    doc = snapshot_doc(rows, args.repeats)
     if args.seed_tree:
         print("timing pre-optimization seed tree "
               f"({args.seed_tree})...", file=sys.stderr)

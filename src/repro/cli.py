@@ -18,6 +18,17 @@ Commands
     Run one synthetic experiment with the observability layer attached:
     structured event traces (JSONL and/or Chrome-trace for Perfetto) and
     sampled metrics (CSV/JSON).  See ``docs/observability.md``.
+``analyze``
+    Turn a recorded JSONL trace (plus optional metrics CSV) into an
+    attribution report: per-packet journeys, latency decomposition,
+    congestion heat, handshake digest.  See ``docs/analysis.md``.
+``profile``
+    Run one experiment with the kernel phase profiler attached and
+    report where the wall time went (handshake / delivery / evaluate /
+    sampler).
+``bench diff``
+    Compare two ``BENCH_kernel.json`` snapshots cell by cell and flag
+    ratio regressions.
 """
 
 from __future__ import annotations
@@ -182,18 +193,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .harness import run_synthetic
-    from .obs import DEFAULT_CAPACITY, Tracer, write_chrome_trace
+    from .obs import (DEFAULT_CAPACITY, EVENT_KINDS, Tracer,
+                      write_chrome_trace, write_jsonl)
 
     tracer = None
     if args.trace or args.chrome_trace:
         kinds = (args.trace_kinds.split(",") if args.trace_kinds else None)
+        if kinds:
+            unknown = sorted(set(kinds) - set(EVENT_KINDS))
+            if unknown:
+                print(f"repro run: error: unknown event kind(s) "
+                      f"{', '.join(unknown)} for --trace-kinds "
+                      f"(choose from {', '.join(EVENT_KINDS)})",
+                      file=sys.stderr)
+                return 2
         tracer = Tracer(args.trace_capacity or DEFAULT_CAPACITY, kinds=kinds)
     r = run_synthetic(args.mechanism, pattern=args.pattern, rate=args.rate,
                       gated_fraction=args.gated, warmup=args.warmup,
                       measure=args.measure, seed=args.seed,
                       width=args.width, height=args.height,
                       kernel=args.kernel or None,
-                      tracer=tracer, trace_path=args.trace or None,
+                      tracer=tracer,
                       metrics_path=args.metrics or None,
                       metrics_every=args.metrics_every)
     print(f"mechanism          {r.mechanism}")
@@ -203,9 +223,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"packets measured   {r.packets}")
     print(f"avg latency        {r.avg_latency:.2f} cycles")
     if tracer is not None:
+        if tracer.dropped > 0:
+            print(f"repro run: WARNING: tracer ring overflowed — "
+                  f"{tracer.dropped} oldest events were dropped; the "
+                  f"exported trace is truncated at the start.\n"
+                  f"  remedies: raise --trace-capacity (currently "
+                  f"{tracer.capacity}) or restrict --trace-kinds to the "
+                  f"events you need", file=sys.stderr)
         print(f"trace              {tracer.recorded} events recorded "
               f"({tracer.dropped} dropped by the ring)")
         if args.trace:
+            write_jsonl(tracer.events(), args.trace)
             print(f"  jsonl            {args.trace}")
         if args.chrome_trace:
             n = write_chrome_trace(tracer.events(), args.chrome_trace)
@@ -215,6 +243,94 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"metrics            {args.metrics} "
               f"(sampled every {args.metrics_every or 'default'} cycles)")
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import analyze_trace, load_jsonl, load_metrics_csv
+
+    try:
+        events = load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"repro analyze: error: cannot read trace: {exc}",
+              file=sys.stderr)
+        return 2
+    metrics_rows = None
+    if args.metrics:
+        try:
+            metrics_rows = load_metrics_csv(args.metrics)
+        except OSError as exc:
+            print(f"repro analyze: error: cannot read metrics: {exc}",
+                  file=sys.stderr)
+            return 2
+    report = analyze_trace(events, metrics_rows,
+                           router_latency=args.router_latency,
+                           warmup=args.warmup,
+                           width=args.width or 0, height=args.height or 0)
+    if args.json:
+        text = json.dumps(report.as_dict(args.top_k), indent=2)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    else:
+        text = report.render(markdown=args.md, top_k=args.top_k)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    if report.journeys.orphan_pids:
+        print(f"repro analyze: WARNING: {len(report.journeys.orphan_pids)} "
+              f"ejected packets had no inject record (trace truncated by "
+              f"ring wraparound?)", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import profile_run
+
+    r = profile_run(args.mechanism, pattern=args.pattern, rate=args.rate,
+                    gated_fraction=args.gated, warmup=args.warmup,
+                    measure=args.measure, seed=args.seed,
+                    kernel=args.kernel or None,
+                    metrics_every=args.metrics_every,
+                    width=args.width, height=args.height)
+    print(r.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(r.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if r.coverage < args.min_coverage:
+        print(f"repro profile: WARNING: phase timers cover only "
+              f"{r.coverage:.1%} of kernel wall time "
+              f"(expected >= {args.min_coverage:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import diff_bench
+
+    try:
+        diff = diff_bench(args.old, args.new, tolerance=args.tolerance)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro bench diff: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2))
+    else:
+        print(diff.render(markdown=args.md))
+    return 0 if diff.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,6 +386,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write sampled metrics (CSV, or JSON for *.json)")
     p.add_argument("--metrics-every", type=int, default=None,
                    help="sampling cadence in cycles (default 200)")
+
+    p = sub.add_parser(
+        "analyze", help="attribution report from a recorded JSONL trace")
+    p.add_argument("trace", help="JSONL trace from 'repro run --trace'")
+    p.add_argument("--metrics", default="",
+                   help="sampled metrics CSV from the same run")
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the machine-readable JSON report")
+    fmt.add_argument("--md", action="store_true",
+                     help="render the report as Markdown")
+    p.add_argument("--out", default="",
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--warmup", type=int, default=0,
+                   help="warmup cycles of the traced run (default 0; must "
+                        "match for the attribution to reconcile)")
+    p.add_argument("--router-latency", type=int, default=3,
+                   help="router pipeline depth of the traced run (default 3)")
+    p.add_argument("--width", type=int, default=0,
+                   help="mesh width (default: inferred from node ids)")
+    p.add_argument("--height", type=int, default=0,
+                   help="mesh height (default: inferred from node ids)")
+    p.add_argument("--top-k", type=int, default=8,
+                   help="hotspot table depth (default 8)")
+
+    p = sub.add_parser(
+        "profile", help="kernel phase profile of one experiment")
+    _add_common(p)
+    p.add_argument("--kernel", default="", choices=["", "active", "dense"],
+                   help="simulation kernel (default: $REPRO_KERNEL)")
+    p.add_argument("--metrics-every", type=int, default=None,
+                   help="also attach a sampler so its phase cost shows up")
+    p.add_argument("--json", default="",
+                   help="write the profile as JSON to this path")
+    p.add_argument("--min-coverage", type=float, default=0.9,
+                   help="fail (exit 1) when the phase timers cover less "
+                        "than this fraction of kernel wall time")
+
+    p = sub.add_parser(
+        "bench", help="benchmark snapshot tooling")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    p = bsub.add_parser(
+        "diff", help="compare two BENCH_kernel.json snapshots")
+    p.add_argument("old", help="recorded snapshot (e.g. BENCH_kernel.json)")
+    p.add_argument("new", help="freshly measured snapshot")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional dense/active ratio drop "
+                        "(default 0.30, matching the CI gate)")
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the machine-readable diff")
+    fmt.add_argument("--md", action="store_true",
+                     help="render the diff as a Markdown table")
     return ap
 
 
@@ -282,6 +451,9 @@ def main(argv: list[str] | None = None) -> int:
         "parsec": cmd_parsec,
         "trace": cmd_trace,
         "run": cmd_run,
+        "analyze": cmd_analyze,
+        "profile": cmd_profile,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -8,7 +8,9 @@ from .parallel import (ParallelSweep, SweepTask, default_jobs,
                        default_task_timeout, derive_task_seed)
 from .sweep import (FIGURE_FRACTIONS, FIGURE_MECHANISMS, FIGURE_RATES,
                     sweep_fractions, sweep_rates)
-from .ascii_plot import bar_chart, line_chart, sparkline
+from .ascii_plot import bar_chart, heat_grid, line_chart, sparkline
+from .benchdiff import (BenchDiff, CellDiff, MetricDelta, diff_bench,
+                        load_bench)
 from .tables import breakdown_table, normalized_table, series_table, timeline_table
 
 __all__ = [
@@ -20,5 +22,6 @@ __all__ = [
     "sweep_fractions", "sweep_rates",
     "FIGURE_MECHANISMS", "FIGURE_FRACTIONS", "FIGURE_RATES",
     "series_table", "breakdown_table", "normalized_table", "timeline_table",
-    "line_chart", "bar_chart", "sparkline",
+    "line_chart", "bar_chart", "sparkline", "heat_grid",
+    "BenchDiff", "CellDiff", "MetricDelta", "diff_bench", "load_bench",
 ]

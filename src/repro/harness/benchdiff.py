@@ -1,0 +1,201 @@
+"""Cell-by-cell comparison of ``BENCH_kernel.json`` snapshots.
+
+The kernel benchmark (:mod:`benchmarks.bench_kernel`) records per-cell
+wall-clock timings and dense/active ratios; its ``--check`` mode *gates*
+on them but reports only failures.  This module makes performance
+changes **reviewable**: :func:`diff_bench` joins two snapshots on the
+``(mechanism, gated_fraction)`` cell key and reports every metric's
+relative delta, flags regressions with the same rule as the gate
+(``dense_over_active`` dropping more than ``tolerance`` below the old
+value), and renders a table fit for a PR comment — the engine behind
+``repro bench diff OLD.json NEW.json``.
+
+Absolute seconds are host-dependent; the dense/active ratio is the
+hardware-independent signal (both kernels run back to back on the same
+host), which is why only ratio drops count as regressions while the
+``*_s`` columns are informational.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: numeric per-cell metrics compared, in render order
+CELL_METRICS = ("dense_over_active", "active_s", "dense_s",
+                "active_cycles_per_s", "dense_cycles_per_s",
+                "seed_over_active")
+
+#: metrics where a *drop* beyond tolerance is a regression
+GATED_METRICS = ("dense_over_active",)
+
+#: default allowed fractional drop (matches the CI gate's --tolerance)
+DEFAULT_TOLERANCE = 0.30
+
+CellKey = tuple[str, float]
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Load a ``BENCH_kernel.json`` document, validating its shape."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or not isinstance(doc.get("cells"), list):
+        raise ValueError(f"{path}: not a bench snapshot (no 'cells' list)")
+    for cell in doc["cells"]:
+        if "mechanism" not in cell or "gated_fraction" not in cell:
+            raise ValueError(f"{path}: cell missing mechanism/gated_fraction: "
+                             f"{cell!r}")
+    return doc
+
+
+def _cells_by_key(doc: Mapping[str, Any]) -> dict[CellKey, dict]:
+    return {(c["mechanism"], float(c["gated_fraction"])): c
+            for c in doc["cells"]}
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared across the two snapshots."""
+
+    name: str
+    old: float
+    new: float
+
+    @property
+    def rel(self) -> float:
+        """Relative change ``(new - old) / old``."""
+        return (self.new - self.old) / self.old if self.old else 0.0
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {"old": self.old, "new": self.new, "rel": round(self.rel, 4)}
+
+
+@dataclass
+class CellDiff:
+    """All compared metrics for one ``(mechanism, gated_fraction)`` cell."""
+
+    mechanism: str
+    gated_fraction: float
+    deltas: dict[str, MetricDelta] = field(default_factory=dict)
+    #: gated metrics that dropped beyond tolerance
+    regressed: list[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> CellKey:
+        return (self.mechanism, self.gated_fraction)
+
+    @property
+    def regression(self) -> bool:
+        return bool(self.regressed)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mechanism": self.mechanism,
+            "gated_fraction": self.gated_fraction,
+            "metrics": {n: d.as_dict() for n, d in self.deltas.items()},
+            "regressed": list(self.regressed),
+        }
+
+
+@dataclass
+class BenchDiff:
+    """Result of :func:`diff_bench`."""
+
+    tolerance: float
+    cells: list[CellDiff] = field(default_factory=list)
+    #: cell keys present only in the old snapshot (e.g. full vs --quick)
+    only_old: list[CellKey] = field(default_factory=list)
+    #: cell keys present only in the new snapshot
+    only_new: list[CellKey] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CellDiff]:
+        return [c for c in self.cells if c.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tolerance": self.tolerance,
+            "compared_cells": len(self.cells),
+            "regressions": len(self.regressions),
+            "ok": self.ok,
+            "cells": [c.as_dict() for c in self.cells],
+            "only_old": [f"{m}@{f}" for m, f in self.only_old],
+            "only_new": [f"{m}@{f}" for m, f in self.only_new],
+        }
+
+    def render(self, *, markdown: bool = False) -> str:
+        """Table of per-cell ratio/time deltas, regressions flagged."""
+        headers = ["cell", "ratio old", "ratio new", "delta",
+                   "active old", "active new", "flag"]
+        rows: list[list[str]] = []
+        for c in self.cells:
+            ratio = c.deltas.get("dense_over_active")
+            act = c.deltas.get("active_s")
+            rows.append([
+                f"{c.mechanism}@{c.gated_fraction:.1f}",
+                f"{ratio.old:.2f}x" if ratio else "-",
+                f"{ratio.new:.2f}x" if ratio else "-",
+                f"{ratio.rel:+.1%}" if ratio else "-",
+                f"{act.old * 1e3:.0f}ms" if act else "-",
+                f"{act.new * 1e3:.0f}ms" if act else "-",
+                "REGRESSION" if c.regression else "",
+            ])
+        if markdown:
+            lines = ["| " + " | ".join(headers) + " |",
+                     "|" + "|".join("---" for _ in headers) + "|"]
+            lines += ["| " + " | ".join(r) + " |" for r in rows]
+        else:
+            widths = [max(len(h), *(len(r[i]) for r in rows)) if rows
+                      else len(h) for i, h in enumerate(headers)]
+            lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+            lines += ["  ".join(v.ljust(w) for v, w in zip(r, widths))
+                      for r in rows]
+        for m, f in self.only_old:
+            lines.append(f"(only in old snapshot: {m}@{f:.1f})")
+        for m, f in self.only_new:
+            lines.append(f"(only in new snapshot: {m}@{f:.1f})")
+        verdict = ("OK" if self.ok else
+                   f"{len(self.regressions)} REGRESSION(S)")
+        lines.append(f"{len(self.cells)} cells compared, tolerance "
+                     f"{self.tolerance:.0%}: {verdict}")
+        return "\n".join(lines)
+
+
+def diff_bench(old: Mapping[str, Any] | str, new: Mapping[str, Any] | str,
+               *, tolerance: float = DEFAULT_TOLERANCE) -> BenchDiff:
+    """Compare two bench snapshots (paths or loaded documents).
+
+    Cells missing from either side are listed, not treated as failures
+    (``--quick`` grids are strict subsets of the full grid by design).
+    A cell regresses when a metric in :data:`GATED_METRICS` falls more
+    than ``tolerance`` (fractional) below its old value — the same rule
+    ``bench_kernel.py --check`` enforces.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    old_doc = load_bench(old) if isinstance(old, str) else old
+    new_doc = load_bench(new) if isinstance(new, str) else new
+    old_cells = _cells_by_key(old_doc)
+    new_cells = _cells_by_key(new_doc)
+
+    out = BenchDiff(tolerance=tolerance)
+    out.only_old = sorted(set(old_cells) - set(new_cells))
+    out.only_new = sorted(set(new_cells) - set(old_cells))
+    for key in sorted(set(old_cells) & set(new_cells)):
+        oc, nc = old_cells[key], new_cells[key]
+        cd = CellDiff(mechanism=key[0], gated_fraction=key[1])
+        for metric in CELL_METRICS:
+            ov, nv = oc.get(metric), nc.get(metric)
+            if isinstance(ov, (int, float)) and isinstance(nv, (int, float)):
+                cd.deltas[metric] = MetricDelta(metric, float(ov), float(nv))
+        for metric in GATED_METRICS:
+            d = cd.deltas.get(metric)
+            if d is not None and d.new < d.old * (1.0 - tolerance):
+                cd.regressed.append(metric)
+        out.cells.append(cd)
+    return out

@@ -93,6 +93,7 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
                   trace_kinds=None,
                   sampler=None, metrics_every: int | None = None,
                   metrics_path: str | None = None,
+                  profiler=None,
                   **config_overrides) -> ExperimentResult:
     """Run one synthetic-traffic experiment and collect metrics.
 
@@ -113,8 +114,12 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     ``metrics_every`` cadence to collect sampled metrics; the final
     scalar snapshot lands in :attr:`ExperimentResult.metrics`, and
     ``metrics_path`` additionally writes the sampled series to disk
-    (CSV, or the full registry JSON for ``*.json`` paths).  None of
-    these affect simulation results — only what gets observed.
+    (CSV, or the full registry JSON for ``*.json`` paths).  A
+    ``profiler`` (:class:`~repro.obs.KernelProfiler`) accumulates
+    per-phase kernel wall time (see ``repro profile`` /
+    :func:`repro.obs.profile_run` for the self-contained variant that
+    also wall-clocks the kernel externally).  None of these affect
+    simulation results — only what gets observed.
     """
     dw, dm = default_cycles()
     warmup = dw if warmup is None else warmup
@@ -135,6 +140,8 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
             else metrics_every)
     if sampler is not None:
         net.attach_metrics(sampler)
+    if profiler is not None:
+        net.attach_profiler(profiler)
     if schedule is None:
         schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
     net.set_gating(schedule)
@@ -157,6 +164,13 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     stats = net.stats
     power = rep.power_w(net.pcfg.cycle_time_s)
     states = net.power_states()
+    if sampler is not None:
+        # final flush: capture the trailing partial window the cadence
+        # would otherwise drop (duck-typed so any on_cycle-compatible
+        # object without close() still works)
+        close = getattr(sampler, "close", None)
+        if close is not None:
+            close(net.cycle)
     if tracer is not None and trace_path is not None:
         from ..obs import write_jsonl
         write_jsonl(tracer.events(), trace_path)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_left
+from time import perf_counter_ns
 
 from ..config import NoCConfig, PowerConfig
 from ..gating.schedule import GatingSchedule
@@ -95,6 +96,9 @@ class Network:
         self._tracer = None
         self._metrics = None
         self._obs_tick = None
+        #: kernel phase profiler (see ``repro.obs.profile``); when None
+        #: each kernel step pays one ``is not None`` test per phase
+        self._profiler = None
         num_links = 2 * ((cfg.width - 1) * cfg.height
                          + (cfg.height - 1) * cfg.width)
         self.accountant = EnergyAccountant(self.pcfg, num_links=num_links,
@@ -191,6 +195,16 @@ class Network:
             self._metrics = sampler.registry
             self._obs_tick = sampler.on_cycle
 
+    def attach_profiler(self, profiler) -> None:
+        """Install a :class:`~repro.obs.profile.KernelProfiler` (or any
+        object with ``t_handshake``/``t_delivery``/``t_evaluate``/
+        ``t_sampler``/``step_ns``/``cycles`` accumulators); ``None``
+        detaches.  Both kernels add ``perf_counter_ns`` deltas at their
+        phase boundaries; detached, each boundary is a single
+        ``is not None`` test.  Profiling only reads clocks — simulation
+        results are unchanged."""
+        self._profiler = profiler
+
     # -- gating schedule ------------------------------------------------------
 
     def set_gating(self, schedule: GatingSchedule) -> None:
@@ -247,9 +261,16 @@ class Network:
     def _step_dense(self) -> None:
         """Reference kernel: visit every router and channel, every cycle."""
         now = self.cycle
+        prof = self._profiler
+        if prof is not None:
+            _t0 = _t = perf_counter_ns()
         if self._cp_idx < len(self._change_points):
             self._fire_schedule_changes(now)
         self.mech.step(now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_handshake += _n - _t
+            _t = _n
         routers = self.routers
         for r in routers:
             for d, ch in r.in_credit.items():
@@ -261,11 +282,24 @@ class Network:
                 q = ch._q
                 while q and q[0][0] <= now:
                     r.deliver_flit(q.popleft()[1], d, now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_delivery += _n - _t
+            _t = _n
         for r in routers:
             r.evaluate(now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_evaluate += _n - _t
+            _t = _n
         obs = self._obs_tick
         if obs is not None:
             obs(now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_sampler += _n - _t
+            prof.step_ns += _n - _t0
+            prof.cycles += 1
         self.cycle = now + 1
 
     def _step_active(self) -> None:
@@ -278,9 +312,16 @@ class Network:
         routers activated mid-phase by upstream ejection sinks.
         """
         now = self.cycle
+        prof = self._profiler
+        if prof is not None:
+            _t0 = _t = perf_counter_ns()
         if self._cp_idx < len(self._change_points):
             self._fire_schedule_changes(now)
         self.mech.step(now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_handshake += _n - _t
+            _t = _n
 
         wheel = self._credit_wheel
         bucket = wheel.pop(now, None)
@@ -321,6 +362,10 @@ class Network:
                         nxt.append(ch)
                 else:
                     ch.scheduled = False
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_delivery += _n - _t
+            _t = _n
 
         # Active-router scan, ascending node order.  The mask (mirroring
         # the routers' ``_active`` flags) is set by every work-arrival
@@ -343,9 +388,18 @@ class Network:
             else:
                 r.evaluate(now)
             i += 1
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_evaluate += _n - _t
+            _t = _n
         obs = self._obs_tick
         if obs is not None:
             obs(now)
+        if prof is not None:
+            _n = perf_counter_ns()
+            prof.t_sampler += _n - _t
+            prof.step_ns += _n - _t0
+            prof.cycles += 1
         self.cycle = now + 1
 
     def run(self, cycles: int) -> None:

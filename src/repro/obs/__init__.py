@@ -19,6 +19,11 @@ step and per hook site — pinned by the ``bench_kernel`` CI gate and
 ``tests/test_obs_exporters.py``.
 """
 
+from .analysis import (REPORT_SCHEMA, AnalysisReport, CongestionReport,
+                       HandshakeReport, Journey, JourneySet,
+                       LatencyAttribution, analyze_trace, attribute_latency,
+                       congestion_report, handshake_report,
+                       reconstruct_journeys, validate_report)
 from .events import (CONTROL_KINDS, EVENT_FIELDS, EVENT_KINDS, FLIT_KINDS,
                      TraceEvent, event_from_dict)
 from .export import (chrome_trace_events, load_jsonl, load_metrics_csv,
@@ -26,6 +31,8 @@ from .export import (chrome_trace_events, load_jsonl, load_metrics_csv,
                      write_metrics_csv, write_metrics_json)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry)
+from .profile import (PHASES, PROFILE_SCHEMA, KernelProfiler, ProfileResult,
+                      attach_profiler, profile_run)
 from .sampler import DEFAULT_EVERY, NetworkSampler
 from .tracer import DEFAULT_CAPACITY, Tracer
 
@@ -38,4 +45,12 @@ __all__ = [
     "write_jsonl", "load_jsonl", "write_chrome_trace", "chrome_trace_events",
     "validate_chrome_trace", "write_metrics_csv", "load_metrics_csv",
     "write_metrics_json",
+    # analysis (PR 4)
+    "AnalysisReport", "CongestionReport", "HandshakeReport", "Journey",
+    "JourneySet", "LatencyAttribution", "REPORT_SCHEMA", "analyze_trace",
+    "attribute_latency", "congestion_report", "handshake_report",
+    "reconstruct_journeys", "validate_report",
+    # profiler (PR 4)
+    "KernelProfiler", "ProfileResult", "PHASES", "PROFILE_SCHEMA",
+    "attach_profiler", "profile_run",
 ]

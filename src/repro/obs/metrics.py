@@ -170,9 +170,16 @@ class MetricsRegistry:
                 out[name] = inst.value
         return out
 
-    def sample(self, cycle: int) -> dict[str, float]:
-        """Append (and return) one time-series row for ``cycle``."""
+    def sample(self, cycle: int,
+               tags: dict[str, float] | None = None) -> dict[str, float]:
+        """Append (and return) one time-series row for ``cycle``.
+
+        ``tags`` adds row-level scalar annotations (e.g. the sampler's
+        ``partial`` flag on a final, cadence-incomplete window); they
+        land right after ``cycle`` in the column order."""
         row = {"cycle": float(cycle)}
+        if tags:
+            row.update(tags)
         row.update(self.scalar_snapshot())
         self.rows.append(row)
         return row

@@ -63,6 +63,9 @@ class NetworkSampler:
         self._last_cycle = net.cycle
         self._last_sent: dict[str, int] = {}
         self._links: list[tuple[str, object]] = self._index_links(net)
+        #: cycle of the most recent sample (-1: none yet); lets
+        #: :meth:`close` avoid double-sampling a cadence-aligned horizon
+        self._last_sample = -1
 
     @staticmethod
     def _index_links(net: "Network") -> list[tuple[str, object]]:
@@ -79,9 +82,25 @@ class NetworkSampler:
         if now % self.every == 0:
             self.sample(now)
 
+    def close(self, now: int) -> bool:
+        """Final flush: sample the trailing partial window at ``now``.
+
+        Called by the harness when a run ends on a cycle that is not a
+        cadence multiple — without it the last ``now % every`` cycles
+        would silently go unsampled (the same bug shape as the
+        ``windowed_latency`` horizon-cut fix).  The closing row carries
+        ``partial = 1.0`` in the CSV/JSON exports when its window is
+        cadence-incomplete.  Idempotent; returns True when a row was
+        added.
+        """
+        if now == self._last_sample:
+            return False
+        self.sample(now, partial=now % self.every != 0)
+        return True
+
     # -- one sample ----------------------------------------------------------
 
-    def sample(self, now: int) -> None:
+    def sample(self, now: int, *, partial: bool = False) -> None:
         """Take one sample of the network state at cycle ``now``."""
         net = self.net
         reg = self.registry
@@ -126,4 +145,5 @@ class NetworkSampler:
         reg.gauge("traffic.flits_ejected").set(stats.flits_ejected)
 
         self._last_cycle = now
-        reg.sample(now)
+        self._last_sample = now
+        reg.sample(now, {"partial": 1.0 if partial else 0.0})
