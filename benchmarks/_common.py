@@ -13,6 +13,8 @@ import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro.harness import FIGURE_MECHANISMS  # noqa: E402
+
 FULL = bool(os.environ.get("REPRO_FULL"))
 
 #: gated-core fractions on the figures' x axes
@@ -27,7 +29,10 @@ MEASURE = 90_000 if FULL else 5_000
 FS_INSTRUCTIONS = 4_000 if FULL else 600
 FS_MAX_CYCLES = 2_000_000 if FULL else 250_000
 
-MECHANISMS = ("baseline", "rp", "rflov", "gflov")
+#: the four mechanisms every figure compares (single source of truth:
+#: repro.harness.FIGURE_MECHANISMS, itself validated against the
+#: mechanism registry)
+MECHANISMS = FIGURE_MECHANISMS
 
 
 def _progress(done: int, total: int, task, result, from_cache: bool) -> None:

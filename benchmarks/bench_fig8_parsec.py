@@ -10,12 +10,13 @@ Our substrate is synthetic, so we assert the *shape*: large static
 savings vs Baseline, additional savings vs RP, small runtime penalty.
 """
 
-from _common import ENGINE, FS_INSTRUCTIONS, FS_MAX_CYCLES, banner
+from _common import (ENGINE, FS_INSTRUCTIONS, FS_MAX_CYCLES, MECHANISMS,
+                     banner)
 
 from repro.fullsystem import PARSEC, CmpSystem
 from repro.harness import normalized_table
 
-MECHS = ("baseline", "rp", "rflov", "gflov")
+MECHS = MECHANISMS
 
 
 def _run_one(pair):

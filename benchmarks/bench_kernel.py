@@ -45,7 +45,12 @@ from datetime import datetime, timezone
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
 
-MECHANISMS = ("baseline", "rp", "rflov", "gflov", "nord")
+# Appended (not prepended) so the --worker subprocess, whose PYTHONPATH
+# points at a seed-tree checkout, still imports *that* tree's repro.
+sys.path.append(os.path.join(_ROOT, "src"))
+
+from repro.config import MECHANISMS  # noqa: E402  (registry-derived)
+
 FRACTIONS = (0.0, 0.4, 0.6, 0.8)
 QUICK_FRACTIONS = (0.0, 0.6)
 
@@ -108,7 +113,6 @@ def _geomean(xs: list[float]) -> float:
 
 
 def measure(cells: list[dict], repeats: int) -> list[dict]:
-    sys.path.insert(0, os.path.join(_ROOT, "src"))
     from repro.harness import run_synthetic
 
     rows = []

@@ -11,6 +11,9 @@ Public API::
 from .config import MECHANISMS, NoCConfig, PowerConfig, SystemConfig, table1_config
 from .gating import EpochGating, GatingSchedule, StaticGating
 from .noc import Direction, Network, Packet, StatsCollector
+from .registry import (KERNELS, PATTERNS, SCHEDULES, WORKLOADS, Registry,
+                       load_plugins)
+from .spec import ExperimentSpec, SpecError, SweepSpec, load_spec_file
 from .traffic import TrafficGenerator, get_pattern
 
 __version__ = "1.0.0"
@@ -20,4 +23,7 @@ __all__ = [
     "Network", "Direction", "Packet", "StatsCollector",
     "TrafficGenerator", "get_pattern",
     "GatingSchedule", "StaticGating", "EpochGating",
+    "Registry", "KERNELS", "PATTERNS", "SCHEDULES", "WORKLOADS",
+    "load_plugins",
+    "ExperimentSpec", "SweepSpec", "SpecError", "load_spec_file",
 ]

@@ -29,6 +29,13 @@ Commands
 ``bench diff``
     Compare two ``BENCH_kernel.json`` snapshots cell by cell and flag
     ratio regressions.
+``spec``
+    Validate, hash, or execute a declarative experiment/sweep spec file
+    (``*.toml`` / ``*.json``; see ``docs/specs.md``).
+
+Every ``choices=``/default in this module is derived from the component
+registries (:mod:`repro.registry`) — plugin components loaded via
+``REPRO_PLUGINS`` appear automatically.
 """
 
 from __future__ import annotations
@@ -36,14 +43,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .config import MECHANISMS, NoCConfig, PowerConfig, table1_config
+from .config import NoCConfig, PowerConfig, table1_config
+from .registry import KERNELS, MECHANISMS, PATTERNS, load_plugins
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--mechanism", "-m", default="gflov", choices=MECHANISMS)
+    p.add_argument("--mechanism", "-m", default="gflov",
+                   choices=MECHANISMS.names())
     p.add_argument("--rate", type=float, default=0.02,
                    help="injection rate, flits/cycle/node")
-    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--pattern", default="uniform", choices=PATTERNS.names())
     p.add_argument("--gated", type=float, default=0.0,
                    help="fraction of cores power-gated")
     p.add_argument("--warmup", type=int, default=None)
@@ -51,6 +60,32 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--height", type=int, default=8)
+
+
+def _add_pattern_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--pattern-arg", action="append", default=[],
+                   dest="pattern_args", metavar="KEY=VALUE",
+                   help="extra pattern-factory argument, e.g. "
+                        "--pattern-arg hotspots=[27] --pattern-arg "
+                        "weight=0.4 (repeatable; the value is parsed as "
+                        "JSON, falling back to a plain string)")
+
+
+def _parse_pattern_args(pairs: list[str]) -> dict:
+    """``["k=v", ...]`` -> ``{"k": parsed_v}`` (JSON value, else string)."""
+    import json
+
+    out: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--pattern-arg expects KEY=VALUE, got {pair!r}")
+        try:
+            out[key] = json.loads(value)
+        except json.JSONDecodeError:
+            out[key] = value
+    return out
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -80,13 +115,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_synthetic(args: argparse.Namespace) -> int:
-    from .harness import run_synthetic
-
-    r = run_synthetic(args.mechanism, pattern=args.pattern, rate=args.rate,
-                      gated_fraction=args.gated, warmup=args.warmup,
-                      measure=args.measure, seed=args.seed,
-                      width=args.width, height=args.height)
+def _print_result(r) -> None:
+    """Human-readable summary of an ExperimentResult (synthetic/spec run)."""
     print(f"mechanism          {r.mechanism}")
     print(f"pattern/rate       {r.pattern} @ {r.rate}")
     print(f"gated fraction     {r.gated_fraction:.0%} "
@@ -101,6 +131,24 @@ def cmd_synthetic(args: argparse.Namespace) -> int:
     print(f"power              static {r.static_w * 1e3:.1f} mW | "
           f"dynamic {r.dynamic_w * 1e3:.1f} mW | "
           f"total {r.total_w * 1e3:.1f} mW")
+
+
+def cmd_synthetic(args: argparse.Namespace) -> int:
+    from .harness import run_synthetic
+    from .spec import SpecError
+
+    try:
+        pattern_kwargs = _parse_pattern_args(args.pattern_args)
+        r = run_synthetic(args.mechanism, pattern=args.pattern,
+                          pattern_kwargs=pattern_kwargs,
+                          rate=args.rate,
+                          gated_fraction=args.gated, warmup=args.warmup,
+                          measure=args.measure, seed=args.seed,
+                          width=args.width, height=args.height)
+    except (SpecError, ValueError) as exc:
+        print(f"repro synthetic: error: {exc}", file=sys.stderr)
+        return 2
+    _print_result(r)
     return 0
 
 
@@ -208,14 +256,20 @@ def cmd_run(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 2
         tracer = Tracer(args.trace_capacity or DEFAULT_CAPACITY, kinds=kinds)
-    r = run_synthetic(args.mechanism, pattern=args.pattern, rate=args.rate,
-                      gated_fraction=args.gated, warmup=args.warmup,
-                      measure=args.measure, seed=args.seed,
-                      width=args.width, height=args.height,
-                      kernel=args.kernel or None,
-                      tracer=tracer,
-                      metrics_path=args.metrics or None,
-                      metrics_every=args.metrics_every)
+    try:
+        pattern_kwargs = _parse_pattern_args(args.pattern_args)
+        r = run_synthetic(args.mechanism, pattern=args.pattern,
+                          pattern_kwargs=pattern_kwargs, rate=args.rate,
+                          gated_fraction=args.gated, warmup=args.warmup,
+                          measure=args.measure, seed=args.seed,
+                          width=args.width, height=args.height,
+                          kernel=args.kernel or None,
+                          tracer=tracer,
+                          metrics_path=args.metrics or None,
+                          metrics_every=args.metrics_every)
+    except ValueError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
     print(f"mechanism          {r.mechanism}")
     print(f"pattern/rate       {r.pattern} @ {r.rate}")
     print(f"gated fraction     {r.gated_fraction:.0%} "
@@ -333,6 +387,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def cmd_spec(args: argparse.Namespace) -> int:
+    from .spec import ExperimentSpec, SpecError, SweepSpec, load_spec_file
+
+    try:
+        spec = load_spec_file(args.file)
+    except SpecError as exc:
+        print(f"repro spec {args.spec_command}: error: {exc}",
+              file=sys.stderr)
+        return 2
+    kind = type(spec).__name__
+
+    if args.spec_command == "validate":
+        cells = len(spec.expand()) if isinstance(spec, SweepSpec) else 1
+        print(f"{args.file}: OK ({kind}, {cells} experiment "
+              f"cell{'s' if cells != 1 else ''}, "
+              f"hash {spec.stable_hash()[:16]})")
+        return 0
+
+    if args.spec_command == "hash":
+        print(spec.stable_hash())
+        return 0
+
+    # run
+    if isinstance(spec, ExperimentSpec):
+        from .harness import run_spec
+        from .harness.cache import result_to_dict, stable_digest
+
+        try:
+            r = run_spec(spec)
+        except ValueError as exc:
+            print(f"repro spec run: error: {exc}", file=sys.stderr)
+            return 2
+        if spec.workload is not None:
+            flag = "" if r.finished else "  (cycle cap!)"
+            print(f"workload           {spec.workload} ({spec.mechanism})")
+            print(f"runtime            {r.runtime_cycles} cycles{flag}")
+            print(f"energy             static {r.static_j * 1e6:.2f} uJ | "
+                  f"total {r.total_j * 1e6:.2f} uJ")
+            print(f"sleeping routers   {r.sleeping_routers}")
+            return 0
+        _print_result(r)
+        print(f"result digest      {stable_digest(result_to_dict(r))}")
+        return 0
+
+    from .harness import ParallelSweep, run_sweep_spec, series_table
+
+    engine = ParallelSweep(args.jobs, use_cache=not args.no_cache)
+    series = run_sweep_spec(spec, engine=engine)
+    cells = sum(len(rs) for rs in series.values())
+    print(f"sweep: {cells} cells, {engine.last_cache_hits} cache hits, "
+          f"executed {engine.last_mode} ({engine.max_workers} workers)")
+    print()
+    print(series_table("avg latency (cycles)", series, "avg_latency"))
+    print()
+    print(series_table("total power (mW)", series, "total_w", scale=1e3))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -341,12 +453,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print configuration & power calibration")
 
+    from .harness.sweep import FIGURE_MECHANISMS
+
     p = sub.add_parser("synthetic", help="run one synthetic experiment")
     _add_common(p)
+    _add_pattern_arg(p)
 
     p = sub.add_parser("sweep", help="sweep gated fractions (Fig 6/9)")
     _add_common(p)
-    p.add_argument("--mechanisms", default="baseline,rp,rflov,gflov")
+    p.add_argument("--mechanisms", default=",".join(FIGURE_MECHANISMS))
     p.add_argument("--fractions", default="0.0,0.2,0.4,0.6,0.8")
     p.add_argument("--jobs", "-j", type=int, default=None,
                    help="worker processes (default: auto / $REPRO_JOBS)")
@@ -357,7 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("parsec", help="full-system PARSEC runs (Fig 8c/d)")
     p.add_argument("--benchmarks", default="")
-    p.add_argument("--mechanisms", default="baseline,gflov")
+    p.add_argument("--mechanisms",
+                   default=f"{FIGURE_MECHANISMS[0]},{FIGURE_MECHANISMS[-1]}")
     p.add_argument("--instructions", type=int, default=600)
     p.add_argument("--max-cycles", type=int, default=300_000)
     p.add_argument("--seed", type=int, default=1)
@@ -372,7 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "run", help="run one experiment with tracing/metrics attached")
     _add_common(p)
-    p.add_argument("--kernel", default="", choices=["", "active", "dense"],
+    _add_pattern_arg(p)
+    p.add_argument("--kernel", default="",
+                   choices=[""] + list(KERNELS.names()),
                    help="simulation kernel (default: $REPRO_KERNEL)")
     p.add_argument("--trace", default="",
                    help="write structured events as JSONL to this path")
@@ -414,7 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile", help="kernel phase profile of one experiment")
     _add_common(p)
-    p.add_argument("--kernel", default="", choices=["", "active", "dense"],
+    p.add_argument("--kernel", default="",
+                   choices=[""] + list(KERNELS.names()),
                    help="simulation kernel (default: $REPRO_KERNEL)")
     p.add_argument("--metrics-every", type=int, default=None,
                    help="also attach a sampler so its phase cost shows up")
@@ -439,10 +558,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the machine-readable diff")
     fmt.add_argument("--md", action="store_true",
                      help="render the diff as a Markdown table")
+
+    p = sub.add_parser(
+        "spec", help="validate / hash / run declarative spec files")
+    ssub = p.add_subparsers(dest="spec_command", required=True)
+    for name, text in (
+            ("validate", "parse a spec file and registry-check every field"),
+            ("hash", "print the spec's canonical SHA-256 stable hash"),
+            ("run", "execute the spec (experiment, sweep, or workload)")):
+        sp = ssub.add_parser(name, help=text)
+        sp.add_argument("file", help="*.toml or *.json spec file "
+                                     "(see docs/specs.md)")
+        if name == "run":
+            sp.add_argument("--jobs", "-j", type=int, default=None,
+                            help="worker processes for sweep specs "
+                                 "(default: auto / $REPRO_JOBS)")
+            sp.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
+    load_plugins()  # REPRO_PLUGINS components appear in choices/registries
     args = build_parser().parse_args(argv)
     handler = {
         "info": cmd_info,
@@ -454,6 +591,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": cmd_analyze,
         "profile": cmd_profile,
         "bench": cmd_bench,
+        "spec": cmd_spec,
     }[args.command]
     return handler(args)
 

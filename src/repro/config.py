@@ -23,8 +23,14 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
-#: Power-gating / routing mechanisms implemented by the simulator.
-MECHANISMS = ("baseline", "rp", "rflov", "gflov", "nord")
+from .registry import MECHANISMS as _MECHANISM_REGISTRY
+
+#: Power-gating / routing mechanisms implemented by the simulator — a
+#: snapshot of the mechanism registry's built-in entries, in
+#: registration order.  Validation goes through the live registry, so
+#: plugin mechanisms (``REPRO_PLUGINS``) are accepted even though they
+#: are not part of this tuple.
+MECHANISMS = _MECHANISM_REGISTRY.names()
 
 
 @dataclass(frozen=True)
@@ -77,13 +83,17 @@ class NoCConfig:
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:
             raise ValueError("mesh must be at least 2x2")
-        if self.mechanism not in MECHANISMS:
+        if self.mechanism not in _MECHANISM_REGISTRY:
             raise ValueError(f"unknown mechanism {self.mechanism!r}; "
-                             f"expected one of {MECHANISMS}")
+                             f"expected one of "
+                             f"{_MECHANISM_REGISTRY.names()}")
         if self.num_vcs < 1:
             raise ValueError("need at least one regular VC")
-        if self.escape_vcs < 1 and self.mechanism in ("rflov", "gflov"):
-            raise ValueError("FLOV requires at least one escape VC")
+        if self.escape_vcs < 1 and getattr(
+                _MECHANISM_REGISTRY.get(self.mechanism), "uses_escape",
+                False):
+            raise ValueError(f"{self.mechanism} requires at least one "
+                             f"escape VC")
         if self.buffer_depth < 1:
             raise ValueError("buffer depth must be positive")
         if not (-self.width <= self.aon_column < self.width):

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..registry import WORKLOADS as WORKLOAD_REGISTRY
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:
@@ -101,9 +103,14 @@ PARSEC: dict[str, WorkloadProfile] = {
 }
 
 
+# every profile registers itself; the registry is the lookup authority
+# (plugin workloads from REPRO_PLUGINS join it without touching PARSEC)
+for _profile in PARSEC.values():
+    WORKLOAD_REGISTRY.register(_profile.name, _profile)
+del _profile
+
+
 def get_workload(name: str) -> WorkloadProfile:
-    try:
-        return PARSEC[name]
-    except KeyError:
-        raise ValueError(f"unknown PARSEC benchmark {name!r}; "
-                         f"expected one of {sorted(PARSEC)}") from None
+    """Registry lookup; unknown names raise a ``ValueError`` subclass
+    listing the valid choices."""
+    return WORKLOAD_REGISTRY.get(name)

@@ -12,7 +12,9 @@ changes at 50k and 60k cycles).
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..registry import SCHEDULES as SCHEDULE_REGISTRY
 
 
 class GatingSchedule:
@@ -99,3 +101,55 @@ def random_epochs(num_nodes: int, fractions: Sequence[float],
         count = min(round(frac * num_nodes), len(candidates))
         epochs.append((start, frozenset(rng.sample(candidates, count))))
     return EpochGating(epochs)
+
+
+# -- declarative builders (experiment-spec `schedule = {kind = ...}`) ---------
+#
+# Each builder takes ``(cfg, args)`` — the experiment's NoCConfig plus
+# the spec's schedule mapping minus its "kind" key — and returns a
+# GatingSchedule.  Registered on repro.registry.SCHEDULES so the spec
+# layer, CLI and plugins share one name space.
+
+@SCHEDULE_REGISTRY.register("none")
+def _build_none(cfg: Any, args: Mapping[str, Any]) -> GatingSchedule:
+    """Nothing ever gated (ignores all args)."""
+    return GatingSchedule()
+
+
+@SCHEDULE_REGISTRY.register("static")
+def _build_static(cfg: Any, args: Mapping[str, Any]) -> StaticGating:
+    """``{kind="static", fraction=0.4, seed=?, protect=[...]}``.
+
+    ``seed`` defaults to the experiment config's seed — the exact
+    construction the legacy ``gated_fraction`` path uses.
+    """
+    return StaticGating(cfg.num_routers, args.get("fraction", 0.0),
+                        seed=args.get("seed", cfg.seed),
+                        protect=args.get("protect", ()))
+
+
+@SCHEDULE_REGISTRY.register("epoch")
+def _build_epoch(cfg: Any, args: Mapping[str, Any]) -> EpochGating:
+    """``{kind="epoch", epochs=[[0, [ids...]], [50000, [ids...]], ...]}``."""
+    try:
+        epochs = [(int(start), tuple(gated))
+                  for start, gated in args["epochs"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"epoch schedule needs epochs=[[start, "
+                         f"[gated ids]], ...]: {exc}") from None
+    return EpochGating(epochs)
+
+
+@SCHEDULE_REGISTRY.register("random_epochs")
+def _build_random_epochs(cfg: Any, args: Mapping[str, Any]) -> EpochGating:
+    """``{kind="random_epochs", fractions=[...], boundaries=[...],
+    seed=?, protect=[...]}`` (Fig 10-style reconfiguration churn)."""
+    try:
+        fractions = [float(f) for f in args["fractions"]]
+        boundaries = [int(b) for b in args["boundaries"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"random_epochs schedule needs fractions=[...] "
+                         f"and boundaries=[...]: {exc}") from None
+    return random_epochs(cfg.num_routers, fractions, boundaries,
+                         seed=args.get("seed", cfg.seed),
+                         protect=args.get("protect", ()))

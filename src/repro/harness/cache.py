@@ -1,13 +1,21 @@
 """Content-addressed on-disk cache for experiment results.
 
-Every synthetic-traffic experiment is fully determined by
-``(NoCConfig, pattern, rate, gated_fraction, seed, warmup, measure,
-drain, keep_samples)`` — the simulator is deterministic for a fixed
-seed — so a result computed once never needs to be recomputed.  The
-cache keys each task by a SHA-256 digest of that tuple's canonical JSON
-encoding and stores one small JSON file per result under
+Every synthetic-traffic experiment is fully determined by its
+:class:`~repro.spec.ExperimentSpec` — the simulator is deterministic
+for a fixed seed — so a result computed once never needs to be
+recomputed.  The cache keys each run by a SHA-256 digest of the spec's
+:meth:`~repro.spec.ExperimentSpec.cache_key` canonical-JSON encoding
+and stores one small JSON file per result under
 ``.repro_cache/<aa>/<digest>.json`` (``aa`` = first two hex digits, to
 keep directories small).
+
+Compatibility: the spec's key layout is byte-identical to the pre-spec
+``(NoCConfig, pattern, rate, gated_fraction, seed, warmup, measure,
+drain, keep_samples)`` dict whenever the newer spec fields (pattern
+kwargs, declarative schedule, workload) are unused, so cache entries
+written before the spec layer keep hitting; runs that do use the new
+fields append them to the key and therefore version themselves into
+fresh digests automatically.
 
 Environment knobs
 -----------------
@@ -61,6 +69,19 @@ def stable_digest(key: dict[str, Any]) -> str:
     """
     blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def spec_digest(spec) -> str:
+    """Cache digest of an :class:`~repro.spec.ExperimentSpec`.
+
+    This is the digest the engine stores the spec's result under —
+    ``stable_digest(spec.cache_key())``.  Note it deliberately differs
+    from :meth:`~repro.spec.ExperimentSpec.stable_hash` (a hash of the
+    *complete* spec): the cache key excludes ``kernel`` (kernels are
+    bit-identical) and omits unused new fields for backward
+    compatibility with pre-spec cache entries.
+    """
+    return stable_digest(spec.cache_key())
 
 
 # -- ExperimentResult <-> JSON ------------------------------------------------

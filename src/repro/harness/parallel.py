@@ -33,8 +33,9 @@ from typing import Any, Callable, Sequence
 
 from ..config import NoCConfig
 from ..gating.schedule import GatingSchedule
+from ..spec import ExperimentSpec
 from .cache import ResultCache, cache_enabled
-from .runner import ExperimentResult, default_cycles, run_synthetic
+from .runner import ExperimentResult, default_cycles, run_spec
 
 #: signature: progress(done, total, task_or_item, result, from_cache)
 ProgressFn = Callable[[int, int, Any, Any, bool], None]
@@ -77,12 +78,17 @@ def derive_task_seed(base_seed: int, *parts: Any) -> int:
 
 @dataclass
 class SweepTask:
-    """One ``run_synthetic`` invocation, picklable and cache-keyable.
+    """One experiment invocation, picklable and cache-keyable.
 
-    ``seed=None`` derives a deterministic per-task seed from the task's
-    own identity (mechanism/pattern/rate/fraction).  A task carrying a
-    ``schedule`` object is executed but never cached (schedules are not
-    content-hashed).
+    A task is a thin mutable veneer over an
+    :class:`~repro.spec.ExperimentSpec` (see :meth:`spec` /
+    :meth:`from_spec`); the spec is the authority for validation, cache
+    keys and execution.  ``seed=None`` derives a deterministic per-task
+    seed from the task's own identity (mechanism/pattern/rate/fraction).
+    A task carrying a live ``schedule`` *object* is executed but never
+    cached (arbitrary schedule objects are not content-hashed; use the
+    spec's declarative schedule mapping to get cacheable scheduled
+    runs).
     """
 
     mechanism: str
@@ -96,6 +102,35 @@ class SweepTask:
     keep_samples: bool = False
     schedule: GatingSchedule | None = None
     overrides: dict[str, Any] = field(default_factory=dict)
+    pattern_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "SweepTask":
+        """Wrap a spec as an engine task (declarative schedules stay on
+        the spec and remain cacheable)."""
+        task = cls(mechanism=spec.mechanism, pattern=spec.pattern,
+                   rate=spec.rate, gated_fraction=spec.gated_fraction,
+                   warmup=spec.warmup, measure=spec.measure,
+                   seed=spec.seed, drain=spec.drain,
+                   keep_samples=spec.keep_samples,
+                   overrides=dict(spec.overrides),
+                   pattern_kwargs=dict(spec.pattern_kwargs))
+        task._spec = spec
+        return task
+
+    def spec(self) -> ExperimentSpec:
+        """The validated :class:`ExperimentSpec` this task executes."""
+        base = getattr(self, "_spec", None)
+        if base is not None:
+            return base
+        assert self.seed is not None, "resolved() first"
+        return ExperimentSpec(
+            mechanism=self.mechanism, pattern=self.pattern,
+            pattern_kwargs=dict(self.pattern_kwargs), rate=self.rate,
+            gated_fraction=self.gated_fraction, warmup=self.warmup,
+            measure=self.measure, seed=self.seed, drain=self.drain,
+            keep_samples=self.keep_samples,
+            overrides=dict(self.overrides))
 
     def resolved(self) -> "SweepTask":
         """Copy with warmup/measure/seed made explicit.
@@ -112,12 +147,17 @@ class SweepTask:
         if seed is None:
             seed = derive_task_seed(0, self.mechanism, self.pattern,
                                     self.rate, self.gated_fraction)
-        return SweepTask(mechanism=self.mechanism, pattern=self.pattern,
+        task = SweepTask(mechanism=self.mechanism, pattern=self.pattern,
                          rate=self.rate, gated_fraction=self.gated_fraction,
                          warmup=warmup, measure=measure, seed=seed,
                          drain=self.drain, keep_samples=self.keep_samples,
                          schedule=self.schedule,
-                         overrides=dict(self.overrides))
+                         overrides=dict(self.overrides),
+                         pattern_kwargs=dict(self.pattern_kwargs))
+        base = getattr(self, "_spec", None)
+        if base is not None:
+            task._spec = base.resolved()
+        return task
 
     def config(self) -> NoCConfig:
         """The NoCConfig this task will simulate (validates overrides)."""
@@ -126,30 +166,18 @@ class SweepTask:
                          **self.overrides)
 
     def cache_key(self) -> dict[str, Any] | None:
-        """Stable key dict, or None when the task is uncacheable."""
+        """Stable key dict, or None when the task is uncacheable.
+
+        Delegates to :meth:`ExperimentSpec.cache_key`, whose layout is
+        byte-compatible with pre-spec cache entries.
+        """
         if self.schedule is not None:
             return None
-        return {
-            "config": self.config().to_dict(),
-            "pattern": self.pattern,
-            "rate": self.rate,
-            "gated_fraction": self.gated_fraction,
-            "seed": self.seed,
-            "warmup": self.warmup,
-            "measure": self.measure,
-            "drain": self.drain,
-            "keep_samples": self.keep_samples,
-        }
+        return self.spec().cache_key()
 
     def run(self) -> ExperimentResult:
         """Execute the task in the current process."""
-        return run_synthetic(self.mechanism, pattern=self.pattern,
-                             rate=self.rate,
-                             gated_fraction=self.gated_fraction,
-                             warmup=self.warmup, measure=self.measure,
-                             seed=self.seed, schedule=self.schedule,
-                             keep_samples=self.keep_samples,
-                             drain=self.drain, **self.overrides)
+        return run_spec(self.spec(), schedule=self.schedule)
 
 
 def _execute_task(task: SweepTask) -> ExperimentResult:

@@ -15,10 +15,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..config import NoCConfig
 from ..gating.schedule import GatingSchedule, StaticGating
 from ..noc.network import Network
 from ..noc.stats import LatencyBreakdown
+from ..spec import ExperimentSpec
 from ..traffic.generator import TrafficGenerator
 from ..traffic.patterns import get_pattern
 
@@ -83,6 +83,7 @@ class ExperimentResult:
 
 
 def run_synthetic(mechanism: str, *, pattern: str = "uniform",
+                  pattern_kwargs=None,
                   rate: float = 0.02, gated_fraction: float = 0.0,
                   warmup: int | None = None, measure: int | None = None,
                   seed: int = 1, schedule: GatingSchedule | None = None,
@@ -97,13 +98,21 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
                   **config_overrides) -> ExperimentResult:
     """Run one synthetic-traffic experiment and collect metrics.
 
-    ``schedule`` overrides the default static gating of
-    ``gated_fraction`` (used by the reconfiguration-timeline experiment).
-    ``kernel`` selects the simulation kernel (``active``/``dense``,
-    default: the ``REPRO_KERNEL`` environment variable) — results are
-    bit-identical either way, so it is deliberately *not* part of the
-    experiment cache key.  Extra keyword arguments override
-    :class:`NoCConfig` fields.
+    This legacy keyword signature compiles its arguments into an
+    :class:`~repro.spec.ExperimentSpec` and delegates to
+    :func:`run_spec` — the spec layer is the implementation, and the
+    two entry points are bit-identical by construction (asserted by the
+    spec-equivalence test suite).
+
+    ``pattern_kwargs`` are forwarded to the pattern factory (e.g.
+    ``{"hotspots": [27], "weight": 0.4}`` for ``hotspot``) and are part
+    of the experiment cache key.  ``schedule`` overrides the default
+    static gating of ``gated_fraction`` (used by the
+    reconfiguration-timeline experiment).  ``kernel`` selects the
+    simulation kernel (default: the ``REPRO_KERNEL`` environment
+    variable) — results are bit-identical across kernels, so it is
+    deliberately *not* part of the experiment cache key.  Extra keyword
+    arguments override :class:`~repro.config.NoCConfig` fields.
 
     Observability (opt-in; see :mod:`repro.obs` and
     ``docs/observability.md``): pass a ``tracer``
@@ -121,12 +130,61 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     also wall-clocks the kernel externally).  None of these affect
     simulation results — only what gets observed.
     """
-    dw, dm = default_cycles()
-    warmup = dw if warmup is None else warmup
-    measure = dm if measure is None else measure
+    spec = ExperimentSpec(mechanism=mechanism, pattern=pattern,
+                          pattern_kwargs=dict(pattern_kwargs or {}),
+                          rate=rate, gated_fraction=gated_fraction,
+                          warmup=warmup, measure=measure, seed=seed,
+                          kernel=kernel, drain=drain,
+                          keep_samples=keep_samples,
+                          overrides=config_overrides)
+    return run_spec(spec, schedule=schedule, tracer=tracer,
+                    trace_path=trace_path, trace_kinds=trace_kinds,
+                    sampler=sampler, metrics_every=metrics_every,
+                    metrics_path=metrics_path, profiler=profiler)
 
-    cfg = NoCConfig(mechanism=mechanism, seed=seed, **config_overrides)
-    net = Network(cfg, keep_samples=keep_samples, kernel=kernel)
+
+def run_spec(spec: ExperimentSpec, *,
+             schedule: GatingSchedule | None = None,
+             tracer=None, trace_path: str | None = None,
+             trace_kinds=None,
+             sampler=None, metrics_every: int | None = None,
+             metrics_path: str | None = None,
+             profiler=None) -> ExperimentResult:
+    """Execute an :class:`~repro.spec.ExperimentSpec`.
+
+    The spec compiles to exactly the calls the legacy
+    :func:`run_synthetic` signature made — same construction order,
+    same seeds — so results are bit-identical between the two entry
+    points (and therefore cache-compatible).
+
+    ``schedule`` (a live :class:`GatingSchedule` object) overrides both
+    the spec's declarative ``schedule`` mapping and its
+    ``gated_fraction``.  The observability keywords mirror
+    :func:`run_synthetic` — they are runtime attachments, not part of
+    the spec or its cache key.
+
+    Specs with ``workload=`` set describe a full-system PARSEC run and
+    return a :class:`~repro.fullsystem.FullSystemResult` instead.
+    """
+    if spec.workload is not None:
+        from ..fullsystem import CmpSystem
+        wargs = dict(spec.workload_args)
+        system = CmpSystem(spec.workload, spec.mechanism,
+                           instructions_per_core=wargs.get(
+                               "instructions", 2000),
+                           seed=spec.seed,
+                           noc_overrides=dict(spec.overrides))
+        return system.run(max_cycles=wargs.get("max_cycles", 400_000),
+                          warmup=wargs.get("warmup", 0))
+
+    spec = spec.resolved()
+    warmup, measure = spec.warmup, spec.measure
+    mechanism, pattern, rate = spec.mechanism, spec.pattern, spec.rate
+    gated_fraction, seed = spec.gated_fraction, spec.seed
+    keep_samples, drain = spec.keep_samples, spec.drain
+
+    cfg = spec.config()
+    net = Network(cfg, keep_samples=keep_samples, kernel=spec.kernel)
     if tracer is None and (trace_path is not None or trace_kinds is not None):
         from ..obs import Tracer
         tracer = Tracer(kinds=trace_kinds)
@@ -143,9 +201,13 @@ def run_synthetic(mechanism: str, *, pattern: str = "uniform",
     if profiler is not None:
         net.attach_profiler(profiler)
     if schedule is None:
+        schedule = spec.build_schedule(cfg)
+    if schedule is None:
         schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
     net.set_gating(schedule)
-    gen = TrafficGenerator(net, get_pattern(pattern, cfg), rate, seed=seed)
+    gen = TrafficGenerator(net, get_pattern(pattern, cfg,
+                                            **dict(spec.pattern_kwargs)),
+                           rate, seed=seed)
 
     gen.run(warmup)
     net.begin_measurement()

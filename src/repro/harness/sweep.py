@@ -1,18 +1,22 @@
 """Parameter sweeps over mechanisms / gated fractions / injection rates —
 the loops behind Figures 6, 7 and 9.
 
-Since the parallel-engine rework these helpers build a flat list of
-:class:`~repro.harness.parallel.SweepTask` and hand it to a
-:class:`~repro.harness.parallel.ParallelSweep`, so a full figure grid
-saturates every core on first run and replays from the on-disk result
-cache afterwards.  Pass ``engine=ParallelSweep(max_workers=1,
-use_cache=False)`` to force the old serial, uncached behavior.
+Since the spec-layer rework these helpers build a declarative
+:class:`~repro.spec.SweepSpec`, expand it into
+:class:`~repro.spec.ExperimentSpec` cells, and hand the cells to a
+:class:`~repro.harness.parallel.ParallelSweep` as tasks — so a full
+figure grid saturates every core on first run, replays from the
+on-disk result cache afterwards, and is described by data that can
+also live in a ``*.toml``/``*.json`` spec file (``repro spec run``).
+Pass ``engine=ParallelSweep(max_workers=1, use_cache=False)`` to force
+the old serial, uncached behavior.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from ..spec import SweepSpec
 from .parallel import ParallelSweep, ProgressFn, SweepTask
 from .runner import ExperimentResult
 
@@ -27,7 +31,8 @@ FIGURE_FRACTIONS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
 FIGURE_RATES: tuple[float, ...] = (0.02, 0.08)
 
 #: run_synthetic keyword arguments that are *not* NoCConfig overrides
-_RUNNER_KWARGS = ("warmup", "measure", "schedule", "keep_samples", "drain")
+_RUNNER_KWARGS = ("warmup", "measure", "schedule", "keep_samples", "drain",
+                  "pattern_kwargs")
 
 
 def _split_kwargs(kwargs: dict[str, Any]) -> tuple[dict[str, Any],
@@ -37,18 +42,32 @@ def _split_kwargs(kwargs: dict[str, Any]) -> tuple[dict[str, Any],
     return runner, kwargs
 
 
-def _make_task(mechanism: str, *, pattern: str, rate: float,
-               gated_fraction: float, seed: int | None,
-               runner: dict[str, Any],
-               overrides: dict[str, Any]) -> SweepTask:
-    return SweepTask(mechanism=mechanism, pattern=pattern, rate=rate,
-                     gated_fraction=gated_fraction, seed=seed,
-                     warmup=runner.get("warmup"),
-                     measure=runner.get("measure"),
-                     schedule=runner.get("schedule"),
-                     keep_samples=runner.get("keep_samples", False),
-                     drain=runner.get("drain", True),
-                     overrides=dict(overrides))
+def run_sweep_spec(spec: SweepSpec,
+                   engine: ParallelSweep | None = None,
+                   progress: ProgressFn | None = None,
+                   schedule=None) -> dict[str, list[ExperimentResult]]:
+    """Execute every cell of a :class:`~repro.spec.SweepSpec`.
+
+    Returns ``{mechanism: [result, ...]}`` with results in the spec's
+    rate-major-then-fraction cell order (for the single-rate grids the
+    figures use, that is simply one result per gated fraction).
+    ``schedule`` optionally overrides every cell's gating with a live
+    :class:`~repro.gating.schedule.GatingSchedule` object (such runs
+    bypass the cache).
+    """
+    cells = spec.expand()
+    tasks = [SweepTask.from_spec(cell) for cell in cells]
+    if schedule is not None:
+        for task in tasks:
+            task.schedule = schedule
+    if engine is None:
+        engine = ParallelSweep(progress=progress)
+    results = engine.run(tasks)
+    per_mech = len(cells) // len(spec.mechanisms)
+    out: dict[str, list[ExperimentResult]] = {}
+    for i, mech in enumerate(spec.mechanisms):
+        out[mech] = results[i * per_mech:(i + 1) * per_mech]
+    return out
 
 
 def sweep_fractions(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
@@ -61,23 +80,22 @@ def sweep_fractions(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
     """Latency/power vs. gated fraction, one series per mechanism.
 
     Extra keyword arguments are forwarded to ``run_synthetic`` (cycle
-    counts and :class:`~repro.config.NoCConfig` overrides).  ``engine``
-    supplies a preconfigured executor; by default a fresh
-    :class:`ParallelSweep` (auto worker count, cache on) is used.
+    counts, ``pattern_kwargs`` and :class:`~repro.config.NoCConfig`
+    overrides).  ``engine`` supplies a preconfigured executor; by
+    default a fresh :class:`ParallelSweep` (auto worker count, cache
+    on) is used.
     """
     runner, overrides = _split_kwargs(dict(kwargs))
-    fracs = list(fractions)
-    tasks = [_make_task(mech, pattern=pattern, rate=rate,
-                        gated_fraction=frac, seed=seed, runner=runner,
-                        overrides=overrides)
-             for mech in mechanisms for frac in fracs]
-    if engine is None:
-        engine = ParallelSweep(progress=progress)
-    results = engine.run(tasks)
-    out: dict[str, list[ExperimentResult]] = {}
-    for i, mech in enumerate(mechanisms):
-        out[mech] = results[i * len(fracs):(i + 1) * len(fracs)]
-    return out
+    spec = SweepSpec(mechanisms=tuple(mechanisms), pattern=pattern,
+                     pattern_kwargs=dict(runner.get("pattern_kwargs") or {}),
+                     rates=(rate,), gated_fractions=tuple(fractions),
+                     warmup=runner.get("warmup"),
+                     measure=runner.get("measure"), seed=seed,
+                     drain=runner.get("drain", True),
+                     keep_samples=runner.get("keep_samples", False),
+                     overrides=overrides)
+    return run_sweep_spec(spec, engine=engine, progress=progress,
+                          schedule=runner.get("schedule"))
 
 
 def sweep_rates(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
@@ -89,15 +107,14 @@ def sweep_rates(mechanisms: Sequence[str] = FIGURE_MECHANISMS,
                 **kwargs) -> dict[str, list[ExperimentResult]]:
     """Latency vs. offered load (load-latency curves)."""
     runner, overrides = _split_kwargs(dict(kwargs))
-    rate_list = list(rates)
-    tasks = [_make_task(mech, pattern=pattern, rate=r,
-                        gated_fraction=gated_fraction, seed=seed,
-                        runner=runner, overrides=overrides)
-             for mech in mechanisms for r in rate_list]
-    if engine is None:
-        engine = ParallelSweep(progress=progress)
-    results = engine.run(tasks)
-    out: dict[str, list[ExperimentResult]] = {}
-    for i, mech in enumerate(mechanisms):
-        out[mech] = results[i * len(rate_list):(i + 1) * len(rate_list)]
-    return out
+    spec = SweepSpec(mechanisms=tuple(mechanisms), pattern=pattern,
+                     pattern_kwargs=dict(runner.get("pattern_kwargs") or {}),
+                     rates=tuple(rates),
+                     gated_fractions=(gated_fraction,),
+                     warmup=runner.get("warmup"),
+                     measure=runner.get("measure"), seed=seed,
+                     drain=runner.get("drain", True),
+                     keep_samples=runner.get("keep_samples", False),
+                     overrides=overrides)
+    return run_sweep_spec(spec, engine=engine, progress=progress,
+                          schedule=runner.get("schedule"))

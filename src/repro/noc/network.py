@@ -39,39 +39,30 @@ from ..config import NoCConfig, PowerConfig
 from ..gating.schedule import GatingSchedule
 from ..power.accounting import EnergyAccountant
 from ..power.dsent import power_config_for
-from .mechanism import BaselineMechanism, Mechanism
+from ..registry import KERNELS as KERNEL_REGISTRY
+from ..registry import MECHANISMS as MECHANISM_REGISTRY
+from .mechanism import Mechanism
 from .router import Router
 from .stats import StatsCollector
 from .types import OPPOSITE, Direction, Flit, Packet, make_packet
 
-#: valid values for the ``REPRO_KERNEL`` environment knob
-KERNELS = ("active", "dense")
+#: valid values for the ``REPRO_KERNEL`` environment knob (a live view
+#: of the kernel registry; plugin kernels registered via REPRO_PLUGINS
+#: appear once loaded)
+KERNELS = KERNEL_REGISTRY
 
 
 def _mechanism_class(name: str) -> type[Mechanism]:
-    if name == "baseline":
-        return BaselineMechanism
-    if name == "rflov":
-        from ..core.flov import RFlovMechanism
-        return RFlovMechanism
-    if name == "gflov":
-        from ..core.flov import GFlovMechanism
-        return GFlovMechanism
-    if name == "rp":
-        from ..baselines.router_parking import RouterParkingMechanism
-        return RouterParkingMechanism
-    if name == "nord":
-        from ..baselines.nord import NordMechanism
-        return NordMechanism
-    raise ValueError(f"unknown mechanism {name!r}")
+    """Registry lookup (kept as the historical entry-point name)."""
+    return MECHANISM_REGISTRY.get(name)
 
 
 def default_kernel() -> str:
     """Kernel selected by the ``REPRO_KERNEL`` environment variable."""
     kernel = os.environ.get("REPRO_KERNEL", "active")
-    if kernel not in KERNELS:
-        raise ValueError(f"REPRO_KERNEL must be one of {KERNELS}, "
-                         f"got {kernel!r}")
+    if kernel not in KERNEL_REGISTRY:
+        raise ValueError(f"REPRO_KERNEL must be one of "
+                         f"{KERNEL_REGISTRY.names()}, got {kernel!r}")
     return kernel
 
 
@@ -83,9 +74,11 @@ class Network:
         self.cfg = cfg
         self.pcfg = pcfg if pcfg is not None else power_config_for(cfg)
         self.kernel = default_kernel() if kernel is None else kernel
-        if self.kernel not in KERNELS:
-            raise ValueError(f"kernel must be one of {KERNELS}, "
-                             f"got {self.kernel!r}")
+        #: resolve the kernel through the registry: built-in entries name
+        #: a Network method, plugin entries provide a callable(network)
+        step = KERNEL_REGISTRY.get(self.kernel)  # raises listing choices
+        self._step_one = (getattr(self, step) if isinstance(step, str)
+                          else step.__get__(self, type(self)))
         self.cycle = 0
         self.injection_frozen = False
         #: observability hooks (opt-in; see ``repro.obs``): ``_tracer``
@@ -130,8 +123,6 @@ class Network:
         #: membership scan)
         self._cp_idx = 0
         self._pid = 0
-        self._step_one = (self._step_active if self.kernel == "active"
-                          else self._step_dense)
 
     # -- construction --------------------------------------------------------
 
@@ -141,9 +132,11 @@ class Network:
         cfg = self.cfg
         # The dense reference kernel scans router channel dicts directly;
         # leaving its channels unbound keeps send_at on the plain-append
-        # fast path and the wheels empty.
-        fw = self._flit_wheel if self.kernel == "active" else None
-        cw = self._credit_wheel if self.kernel == "active" else None
+        # fast path and the wheels empty.  Every other kernel (including
+        # plugin-registered ones) gets the timing wheels.
+        dense = self.kernel == "dense"
+        fw = None if dense else self._flit_wheel
+        cw = None if dense else self._credit_wheel
         for r in self.routers:
             for d in (Direction.NORTH, Direction.EAST):
                 nb_id = r.neighbor_id(d)

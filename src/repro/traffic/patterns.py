@@ -15,6 +15,7 @@ import random
 from typing import Callable, Sequence
 
 from ..config import NoCConfig
+from ..registry import PATTERNS as PATTERN_REGISTRY
 
 PatternFn = Callable[[int, Sequence[int], random.Random], int]
 
@@ -29,6 +30,7 @@ def _fallback(src: int, active: Sequence[int], rng: random.Random) -> int:
             return dest
 
 
+@PATTERN_REGISTRY.register("uniform")
 def make_uniform(cfg: NoCConfig) -> PatternFn:
     """Uniform Random: every active core equally likely."""
 
@@ -38,6 +40,7 @@ def make_uniform(cfg: NoCConfig) -> PatternFn:
     return pattern
 
 
+@PATTERN_REGISTRY.register("tornado")
 def make_tornado(cfg: NoCConfig) -> PatternFn:
     """Tornado: destination ``((x + ceil(k/2) - 1) mod k, y)`` — halfway
     around the X dimension, staying in the same row (the paper notes that
@@ -55,6 +58,7 @@ def make_tornado(cfg: NoCConfig) -> PatternFn:
     return pattern
 
 
+@PATTERN_REGISTRY.register("transpose")
 def make_transpose(cfg: NoCConfig) -> PatternFn:
     """Matrix transpose: (x, y) -> (y, x). Requires a square mesh."""
     if cfg.width != cfg.height:
@@ -70,6 +74,7 @@ def make_transpose(cfg: NoCConfig) -> PatternFn:
     return pattern
 
 
+@PATTERN_REGISTRY.register("bitcomplement")
 def make_bitcomplement(cfg: NoCConfig) -> PatternFn:
     """Bit complement: (x, y) -> (k-1-x, k-1-y)."""
 
@@ -83,6 +88,7 @@ def make_bitcomplement(cfg: NoCConfig) -> PatternFn:
     return pattern
 
 
+@PATTERN_REGISTRY.register("hotspot")
 def make_hotspot(cfg: NoCConfig, hotspots: Sequence[int] | None = None,
                  weight: float = 0.3) -> PatternFn:
     """``weight`` of traffic targets hotspot nodes, rest uniform."""
@@ -98,6 +104,7 @@ def make_hotspot(cfg: NoCConfig, hotspots: Sequence[int] | None = None,
     return pattern
 
 
+@PATTERN_REGISTRY.register("neighbor")
 def make_neighbor(cfg: NoCConfig) -> PatternFn:
     """Nearest-neighbor: (x, y) -> (x+1 mod k, y)."""
 
@@ -130,21 +137,17 @@ def _active_set(active: Sequence[int]) -> frozenset[int]:
     return _active_cache[1]
 
 
+#: legacy mapping view of the built-in factories (the registry is the
+#: authority; plugin patterns registered later do not appear here —
+#: resolve those through ``repro.registry.PATTERNS`` / get_pattern)
 PATTERNS: dict[str, Callable[..., PatternFn]] = {
-    "uniform": make_uniform,
-    "tornado": make_tornado,
-    "transpose": make_transpose,
-    "bitcomplement": make_bitcomplement,
-    "hotspot": make_hotspot,
-    "neighbor": make_neighbor,
-}
+    name: PATTERN_REGISTRY.get(name) for name in PATTERN_REGISTRY.names()}
 
 
 def get_pattern(name: str, cfg: NoCConfig, **kwargs: object) -> PatternFn:
-    """Look up a pattern factory by name and build it."""
-    try:
-        factory = PATTERNS[name]
-    except KeyError:
-        raise ValueError(f"unknown traffic pattern {name!r}; "
-                         f"expected one of {sorted(PATTERNS)}") from None
-    return factory(cfg, **kwargs)
+    """Look up a pattern factory in the registry and build it.
+
+    Raises :class:`repro.registry.UnknownComponentError` (a
+    ``ValueError``) listing the valid choices for unknown names.
+    """
+    return PATTERN_REGISTRY.get(name)(cfg, **kwargs)

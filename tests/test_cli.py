@@ -55,3 +55,74 @@ def test_trace_roundtrip(tmp_path, capsys):
 def test_parser_rejects_unknown_mechanism():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["synthetic", "-m", "nope"])
+
+
+def test_parser_choices_derived_from_registries():
+    """No hard-coded component-name lists: the CLI's choices come from
+    the registries."""
+    from repro.config import MECHANISMS
+    from repro.registry import KERNELS, PATTERNS
+
+    ap = build_parser()
+    ns = ap.parse_args(["synthetic", "-m", MECHANISMS[-1],
+                        "--pattern", PATTERNS.names()[-1]])
+    assert ns.mechanism == MECHANISMS[-1]
+    ns = ap.parse_args(["run", "--kernel", KERNELS.names()[-1]])
+    assert ns.kernel == KERNELS.names()[-1]
+    with pytest.raises(SystemExit):
+        ap.parse_args(["run", "--kernel", "hyperspeed"])
+    with pytest.raises(SystemExit):
+        ap.parse_args(["synthetic", "--pattern", "zigzag"])
+
+
+def test_synthetic_pattern_arg(capsys):
+    rc, out = run_cli(capsys, "synthetic", "--pattern", "hotspot",
+                      "--pattern-arg", "hotspots=[27]",
+                      "--pattern-arg", "weight=0.4",
+                      "--warmup", "200", "--measure", "800")
+    assert rc == 0
+    assert "hotspot @" in out
+
+
+def test_synthetic_pattern_arg_errors(capsys):
+    rc, _ = run_cli(capsys, "synthetic", "--pattern-arg", "noequals",
+                    "--warmup", "10", "--measure", "10")
+    assert rc == 2
+    rc, _ = run_cli(capsys, "synthetic", "--pattern-arg", "bogus=1",
+                    "--warmup", "10", "--measure", "10")
+    assert rc == 2
+
+
+def test_spec_validate_hash_run(tmp_path, capsys):
+    spec = tmp_path / "cell.toml"
+    spec.write_text('mechanism = "gflov"\nrate = 0.02\n'
+                    'gated_fraction = 0.4\nwarmup = 200\nmeasure = 800\n')
+    rc, out = run_cli(capsys, "spec", "validate", str(spec))
+    assert rc == 0 and "OK (ExperimentSpec" in out
+    rc, out = run_cli(capsys, "spec", "hash", str(spec))
+    assert rc == 0 and len(out.strip()) == 64
+    rc, out = run_cli(capsys, "spec", "run", str(spec))
+    assert rc == 0
+    assert "avg latency" in out and "result digest" in out
+
+
+def test_spec_run_sweep(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = tmp_path / "sweep.toml"
+    spec.write_text('mechanisms = ["baseline", "gflov"]\n'
+                    'gated_fractions = [0.0, 0.4]\n'
+                    'warmup = 100\nmeasure = 400\n')
+    rc, out = run_cli(capsys, "spec", "run", str(spec), "-j", "1")
+    assert rc == 0
+    assert "avg latency" in out and "gflov" in out
+    rc, out = run_cli(capsys, "spec", "run", str(spec), "-j", "1")
+    assert rc == 0 and "4 cache hits" in out
+
+
+def test_spec_error_paths(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('mechanism = "warp-drive"\n')
+    rc, _ = run_cli(capsys, "spec", "validate", str(bad))
+    assert rc == 2
+    rc, _ = run_cli(capsys, "spec", "run", str(tmp_path / "missing.toml"))
+    assert rc == 2

@@ -10,8 +10,9 @@ allocators, RNG leakage between runs) fails these tests.
 
 import pytest
 
-from repro.harness import (ExperimentResult, ParallelSweep, SweepTask,
-                           derive_task_seed, run_synthetic)
+from repro.config import MECHANISMS
+from repro.harness import (ExperimentResult, FIGURE_MECHANISMS, ParallelSweep,
+                           SweepTask, derive_task_seed, run_synthetic)
 
 KW = dict(pattern="uniform", rate=0.04, gated_fraction=0.3,
           warmup=200, measure=900, seed=7)
@@ -20,7 +21,7 @@ KW = dict(pattern="uniform", rate=0.04, gated_fraction=0.3,
 def _tasks():
     return [SweepTask(mech, rate=0.04, gated_fraction=frac,
                       warmup=200, measure=700, seed=7)
-            for mech in ("baseline", "rp", "rflov", "gflov")
+            for mech in FIGURE_MECHANISMS
             for frac in (0.0, 0.4)]
 
 
@@ -32,7 +33,7 @@ def test_same_seed_bit_identical_runs():
 
 
 def test_same_seed_bit_identical_all_mechanisms():
-    for mech in ("baseline", "rp", "rflov", "gflov", "nord"):
+    for mech in MECHANISMS:
         a = run_synthetic(mech, **KW)
         b = run_synthetic(mech, **KW)
         assert a == b, f"{mech} is nondeterministic"

@@ -25,7 +25,8 @@ from repro.noc.validation import (credit_conservation_violations,
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.patterns import get_pattern
 
-MECHANISMS = ("baseline", "rp", "rflov", "gflov")
+from repro.harness import FIGURE_MECHANISMS as MECHANISMS
+
 PATTERNS = ("uniform", "tornado")
 
 #: injection cycles between quiescence checks

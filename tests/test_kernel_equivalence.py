@@ -17,9 +17,8 @@ and the handshake drain-candidate skip cache.
 
 import pytest
 
+from repro.config import MECHANISMS
 from repro.harness import run_synthetic
-
-MECHANISMS = ("baseline", "rp", "rflov", "gflov", "nord")
 
 EQ_KW = dict(rate=0.04, warmup=200, measure=800, seed=11)
 

@@ -45,7 +45,8 @@ def run_mech(mech, trace):
 def test_same_trace_all_mechanisms_deliver():
     trace = make_trace(gated=GATED)
     stats = {}
-    for mech in ("baseline", "rp", "rflov", "gflov", "nord"):
+    from repro.config import MECHANISMS
+    for mech in MECHANISMS:
         net = run_mech(mech, trace)
         stats[mech] = net.stats.avg_latency
     # identical traffic: the gating mechanisms order as the paper says
@@ -66,7 +67,8 @@ def test_flov_uses_fewer_powered_hops_than_rp():
 def test_static_energy_ordering_on_same_trace():
     trace = make_trace(gated=GATED)
     energies = {}
-    for mech in ("baseline", "rp", "rflov", "gflov"):
+    from repro.harness import FIGURE_MECHANISMS
+    for mech in FIGURE_MECHANISMS:
         net = run_mech(mech, trace)
         energies[mech] = net.accountant.report(net.cycle).static_j
     assert energies["gflov"] < energies["baseline"]

@@ -16,7 +16,9 @@ SLOW = settings(max_examples=12, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow,
                                        HealthCheck.data_too_large])
 
-MECH = st.sampled_from(["baseline", "rflov", "gflov", "rp", "nord"])
+from repro.config import MECHANISMS
+
+MECH = st.sampled_from(MECHANISMS)
 
 
 @SLOW

@@ -1,0 +1,104 @@
+"""Legacy <-> spec entry-point equivalence.
+
+``run_synthetic(...)`` compiles its keyword arguments into an
+:class:`~repro.spec.ExperimentSpec` and delegates to
+:func:`~repro.harness.runner.run_spec`, so the two entry points must be
+*bit-identical* — asserted here as SHA-256 digest equality over the
+full serialized :class:`ExperimentResult`, across every mechanism, two
+traffic patterns, and both simulation kernels.  Also checks that spec
+runs hit the on-disk result cache and that the checked-in
+``examples/specs/fig6_cell.toml`` reproduces its legacy equivalent on
+both kernels (the PR's acceptance cell).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import MECHANISMS
+from repro.harness import (ParallelSweep, SweepTask, run_spec, run_synthetic,
+                           spec_digest)
+from repro.harness.cache import result_to_dict, stable_digest
+from repro.registry import KERNELS
+from repro.spec import ExperimentSpec
+
+KW = dict(rate=0.04, gated_fraction=0.4, warmup=150, measure=600, seed=11)
+
+
+def _digest(result) -> str:
+    return stable_digest(result_to_dict(result))
+
+
+@pytest.mark.parametrize("kernel", KERNELS.names())
+@pytest.mark.parametrize("pattern", ("uniform", "tornado"))
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_legacy_and_spec_entry_points_bit_identical(mechanism, pattern,
+                                                    kernel):
+    legacy = run_synthetic(mechanism, pattern=pattern, kernel=kernel,
+                           keep_samples=True, **KW)
+    spec = ExperimentSpec(mechanism, pattern=pattern, kernel=kernel,
+                          keep_samples=True, **KW)
+    assert _digest(run_spec(spec)) == _digest(legacy)
+
+
+def test_pattern_kwargs_equivalence():
+    pk = {"hotspots": [27, 36], "weight": 0.4}
+    legacy = run_synthetic("gflov", pattern="hotspot", pattern_kwargs=pk,
+                           **KW)
+    spec = ExperimentSpec("gflov", pattern="hotspot", pattern_kwargs=pk,
+                          **KW)
+    assert _digest(run_spec(spec)) == _digest(legacy)
+
+
+def test_overrides_equivalence():
+    legacy = run_synthetic("rflov", width=4, height=4, **KW)
+    spec = ExperimentSpec("rflov", overrides={"width": 4, "height": 4}, **KW)
+    assert _digest(run_spec(spec)) == _digest(legacy)
+
+
+def test_declarative_schedule_equivalence():
+    from repro.gating.schedule import EpochGating
+    epochs = [(0, ()), (300, (1, 2, 3, 10))]
+    legacy = run_synthetic("gflov",
+                           schedule=EpochGating(epochs), **KW)
+    spec = ExperimentSpec("gflov",
+                          schedule={"kind": "epoch",
+                                    "epochs": [[s, list(ids)]
+                                               for s, ids in epochs]},
+                          **KW)
+    assert _digest(run_spec(spec)) == _digest(legacy)
+
+
+def test_spec_run_hits_warm_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    spec = ExperimentSpec("gflov", **KW)
+    cold_engine = ParallelSweep(max_workers=1)
+    cold = cold_engine.run([SweepTask.from_spec(spec)])[0]
+    assert cold_engine.last_cache_hits == 0
+    warm_engine = ParallelSweep(max_workers=1)
+    warm = warm_engine.run([SweepTask.from_spec(spec)])[0]
+    assert warm_engine.last_cache_hits == 1
+    assert _digest(warm) == _digest(cold)
+    # the on-disk entry sits under the spec's digest
+    digest = spec_digest(spec)
+    path = (tmp_path / "cache" / digest[:2] / f"{digest}.json")
+    assert path.is_file()
+
+
+def test_fig6_cell_example_spec_matches_legacy_on_both_kernels():
+    """Acceptance cell: examples/specs/fig6_cell.toml is digest-identical
+    to the equivalent legacy run_synthetic call on both kernels."""
+    specs = Path(__file__).resolve().parents[1] / "examples" / "specs"
+    spec = ExperimentSpec.from_file(str(specs / "fig6_cell.toml"))
+    legacy_kw = dict(pattern=spec.pattern, rate=spec.rate,
+                     gated_fraction=spec.gated_fraction, warmup=spec.warmup,
+                     measure=spec.measure, seed=spec.seed)
+    digests = set()
+    for kernel in KERNELS.names():
+        from dataclasses import replace
+        spec_r = run_spec(replace(spec, kernel=kernel))
+        legacy_r = run_synthetic(spec.mechanism, kernel=kernel, **legacy_kw)
+        digests.add(_digest(spec_r))
+        digests.add(_digest(legacy_r))
+    assert len(digests) == 1, "spec/legacy or kernel divergence"

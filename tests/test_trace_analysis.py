@@ -18,6 +18,7 @@ from repro.config import NoCConfig
 from repro.gating.schedule import StaticGating, random_epochs
 from repro.harness import diff_bench, heat_grid, load_bench, run_synthetic
 from repro.noc.network import Network
+from repro.registry import KERNELS
 from repro.obs import (
     KernelProfiler,
     NetworkSampler,
@@ -264,7 +265,7 @@ def test_profiler_detached_is_default_and_results_identical():
     assert prof.step_ns >= prof.accounted_ns > 0
 
 
-@pytest.mark.parametrize("kernel", ["active", "dense"])
+@pytest.mark.parametrize("kernel", KERNELS.names())
 def test_profile_run_coverage_and_fidelity(kernel):
     """Phase timers must cover (nearly all of) the kernel wall time and
     the profiled run must produce the ordinary simulation outcome."""
