@@ -144,6 +144,15 @@ class RouterParkingMechanism(Mechanism):
         if new_parked:
             for r in self.net.routers:
                 r.ni.drop_queued_to(new_parked)
+        # symmetrically, a parked node's own NI backlog belongs to
+        # threads that migrated away — whether the node was parked just
+        # now or stayed parked while the OS schedule flip-flopped its
+        # core between reconfigurations: drop it
+        for node in new_parked:
+            r = self.net.routers[node]
+            stranded = r.ni.take_pending_packets()
+            if stranded:
+                self.net.stats.packets_dropped += len(stranded)
         # neighbors' PSRs mirror the FM's global view (distributed with
         # the routing tables during Phase I)
         for r in self.net.routers:

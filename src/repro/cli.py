@@ -445,6 +445,64 @@ def cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    if args.verify_command == "modelcheck":
+        from .faults.modelcheck import ModelConfig, check_model
+
+        cfg = ModelConfig(
+            width=args.width, height=args.height,
+            generalized=args.mechanism == "gflov",
+            gated=tuple(int(n) for n in args.gated.split(",") if n != ""),
+            regated=(tuple(int(n) for n in args.regated.split(",")
+                           if n != "")
+                     if args.regated is not None else None),
+            mutant=args.mutant or None,
+            max_states=args.max_states)
+        result = check_model(cfg)
+        print(result.summary())
+        for v in result.violations:
+            print(f"\n[{v.kind}] {v.detail}")
+            print("counterexample:")
+            for i, line in enumerate(v.trace):
+                print(f"  {i:3d}  {line}")
+        return 0 if result.ok else 1
+
+    # soak
+    from .faults.injector import FaultPlan
+    from .faults.soak import FaultSoakSpec, run_fault_soak
+    from .harness import ParallelSweep
+
+    specs = [FaultSoakSpec(
+                 mechanism=m, seed=args.seed + i,
+                 burst_cycles=args.cycles, epochs=args.epochs,
+                 plan=FaultPlan(seed=args.seed + i, hs_drop=args.hs_drop,
+                                hs_dup=args.hs_dup, hs_delay=args.hs_delay,
+                                link_kill=args.link_kill,
+                                power_reset=args.power_reset))
+             for m in args.mechanisms.split(",")
+             for i in range(args.runs)]
+    engine = ParallelSweep(args.jobs)
+    reports = engine.map_callable(run_fault_soak, specs)
+    failures = 0
+    for rep in reports:
+        spec = rep.spec
+        tag = f"{spec.mechanism} seed={spec.seed}"
+        faults = sum(rep.faults.values())
+        if rep.ok:
+            print(f"  ok   {tag}: {faults} faults injected, quiescent "
+                  f"at cycle {rep.cycles}, invariants hold")
+            continue
+        failures += 1
+        print(f"  FAIL {tag}: {faults} faults injected")
+        for v in rep.violations:
+            print(f"       invariant: {v}")
+        for line in rep.diagnosis:
+            print(f"       liveness: {line}")
+        print(f"       replay: {spec}")
+    print(f"{len(reports) - failures}/{len(reports)} soaks passed")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -560,6 +618,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="render the diff as a Markdown table")
 
     p = sub.add_parser(
+        "verify", help="fault-injection verification of the FLOV handshake")
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+    vp = vsub.add_parser(
+        "modelcheck",
+        help="exhaustive handshake model check on a small mesh")
+    vp.add_argument("--mechanism", default="gflov",
+                    choices=("rflov", "gflov"))
+    vp.add_argument("--width", type=int, default=2)
+    vp.add_argument("--height", type=int, default=2)
+    vp.add_argument("--gated", default="0,3",
+                    help="comma-separated gated node ids (default 0,3)")
+    vp.add_argument("--regated", default=None,
+                    help="gated set after an adversarial schedule change "
+                         "(default: no schedule change)")
+    vp.add_argument("--mutant", default="",
+                    help="check a deliberately broken FSM variant "
+                         "(e.g. drop_grant); expected to FAIL")
+    vp.add_argument("--max-states", type=int, default=2_000_000)
+    vp = vsub.add_parser(
+        "soak", help="randomized fault soaks with quiescence checking")
+    vp.add_argument("--mechanisms", default="gflov,rflov,rp,nord")
+    vp.add_argument("--runs", type=int, default=2,
+                    help="soaks per mechanism (default 2)")
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--cycles", type=int, default=2500,
+                    help="faulty burst length before the heal+drain phase")
+    vp.add_argument("--epochs", type=int, default=0,
+                    help="random gating epochs (0 = static schedule)")
+    vp.add_argument("--hs-drop", type=float, default=0.1)
+    vp.add_argument("--hs-dup", type=float, default=0.05)
+    vp.add_argument("--hs-delay", type=float, default=0.15)
+    vp.add_argument("--link-kill", type=float, default=0.002)
+    vp.add_argument("--power-reset", type=float, default=0.003)
+    vp.add_argument("--jobs", "-j", type=int, default=None,
+                    help="worker processes (default: auto / $REPRO_JOBS)")
+
+    p = sub.add_parser(
         "spec", help="validate / hash / run declarative spec files")
     ssub = p.add_subparsers(dest="spec_command", required=True)
     for name, text in (
@@ -592,6 +687,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "bench": cmd_bench,
         "spec": cmd_spec,
+        "verify": cmd_verify,
     }[args.command]
     return handler(args)
 

@@ -159,8 +159,18 @@ class HandshakeController:
         sx, sy = self.cfg.node_xy(src)
         dx, dy = self.cfg.node_xy(dst)
         hops = abs(dx - sx) + abs(dy - sy)
-        self._seq += 1
-        heapq.heappush(self._heap, (now + max(hops, 1), self._seq, dst, msg))
+        flt = self.net._faults
+        if flt is None:
+            self._seq += 1
+            heapq.heappush(self._heap,
+                           (now + max(hops, 1), self._seq, dst, msg))
+        else:
+            # fault injection (opt-in): the injector may drop, duplicate
+            # or delay this message — see repro.faults
+            for arrival in flt.filter_handshake(now, src, dst, msg,
+                                                now + max(hops, 1)):
+                self._seq += 1
+                heapq.heappush(self._heap, (arrival, self._seq, dst, msg))
         self.net.accountant.on_handshake(hops)
         tr = self.net._tracer
         if tr is not None:

@@ -56,6 +56,32 @@ def cache_enabled() -> bool:
     return not os.environ.get("REPRO_NO_CACHE")
 
 
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The document is serialized to a temp file in the destination
+    directory, fsync'd, then ``os.replace``-d over ``path`` — so a
+    reader (or a parallel worker racing to the same entry) only ever
+    sees either the old complete file or the new complete file, never a
+    truncation, even if the writer is killed mid-write or the machine
+    loses power right after the rename.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def default_cache_dir() -> str:
     """Cache root: ``REPRO_CACHE_DIR`` or ``.repro_cache``."""
     return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
@@ -191,23 +217,12 @@ class ResultCache:
     def put(self, key: dict[str, Any], result: ExperimentResult) -> Path:
         """Atomically persist ``result`` under ``key``; returns the path."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": key,
             "result": result_to_dict(result),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload)
         return path
 
     def clear(self) -> None:

@@ -92,6 +92,9 @@ class Network:
         #: kernel phase profiler (see ``repro.obs.profile``); when None
         #: each kernel step pays one ``is not None`` test per phase
         self._profiler = None
+        #: fault injector (see ``repro.faults``); when None both kernels
+        #: and the handshake send path pay one ``is not None`` test
+        self._faults = None
         num_links = 2 * ((cfg.width - 1) * cfg.height
                          + (cfg.height - 1) * cfg.width)
         self.accountant = EnergyAccountant(self.pcfg, num_links=num_links,
@@ -198,6 +201,16 @@ class Network:
         results are unchanged."""
         self._profiler = profiler
 
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`~repro.faults.FaultInjector`; ``None``
+        detaches.  Faults are injected at the kernels' per-cycle hook
+        (link outages, spurious power resets) and at the handshake send
+        path (message drop/duplicate/delay).  Detached runs are
+        bit-identical to a build without the fault layer."""
+        if injector is not None:
+            injector.bind(self)
+        self._faults = injector
+
     # -- gating schedule ------------------------------------------------------
 
     def set_gating(self, schedule: GatingSchedule) -> None:
@@ -260,6 +273,9 @@ class Network:
         if self._cp_idx < len(self._change_points):
             self._fire_schedule_changes(now)
         self.mech.step(now)
+        flt = self._faults
+        if flt is not None:
+            flt.on_cycle(now)
         if prof is not None:
             _n = perf_counter_ns()
             prof.t_handshake += _n - _t
@@ -311,6 +327,9 @@ class Network:
         if self._cp_idx < len(self._change_points):
             self._fire_schedule_changes(now)
         self.mech.step(now)
+        flt = self._faults
+        if flt is not None:
+            flt.on_cycle(now)
         if prof is not None:
             _n = perf_counter_ns()
             prof.t_handshake += _n - _t

@@ -131,6 +131,9 @@ def quiescent(net: "Network") -> bool:
     if hsc is not None:
         if hsc._heap or hsc._drainers or hsc._wakers or hsc._obligations:
             return False
+    ring = getattr(mech, "ring", None)  # NoRD bypass ring carries packets
+    if ring is not None and len(ring):
+        return False
     return True
 
 

@@ -480,6 +480,8 @@ class HandshakeReport:
     transitions: Counter = field(default_factory=Counter)
     #: handshake control messages sent, by kind
     messages: Counter = field(default_factory=Counter)
+    #: injected faults, by action (``fault`` events; see ``repro.faults``)
+    faults: Counter = field(default_factory=Counter)
     #: node -> [(state, start, end)] gating timeline (end exclusive;
     #: final segment closed at :attr:`horizon`)
     timelines: dict[int, list[tuple[str, int, int]]] = field(
@@ -516,6 +518,7 @@ class HandshakeReport:
             "aborts": dict(sorted(self.aborts.items())),
             "transitions": dict(sorted(self.transitions.items())),
             "messages": dict(sorted(self.messages.items())),
+            "faults": dict(sorted(self.faults.items())),
             "gating_routers": len(self.timelines),
             "sleep_ranking": [{"node": n, "sleep_fraction": round(f, 4)}
                               for n, f in self.sleep_ranking(top_k)],
@@ -546,6 +549,9 @@ def handshake_report(events: Sequence[TraceEvent]) -> HandshakeReport:
         k = ev.kind
         if k == "hs_send":
             rep.messages[ev.data[0]] += 1
+            continue
+        if k == "fault":
+            rep.faults[ev.data[0]] += 1
             continue
         if k != "power":
             continue
@@ -705,6 +711,9 @@ class AnalysisReport:
         if hs.messages:
             ms = ", ".join(f"{k}={v}" for k, v in sorted(hs.messages.items()))
             lines.append(f"control messages: {ms}")
+        if hs.faults:
+            fs = ", ".join(f"{k}={v}" for k, v in sorted(hs.faults.items()))
+            lines.append(f"injected faults: {fs}")
         ranking = hs.sleep_ranking(top_k)
         if ranking:
             lines.append("")
@@ -784,7 +793,7 @@ _REPORT_KEYS: dict[str, tuple[str, ...]] = {
     + LatencyAttribution.COMPONENTS,
     "congestion": ("width", "height", "node_heat", "top_nodes", "top_links"),
     "handshake": ("horizon", "drain", "wakeup", "aborts", "transitions",
-                  "messages", "gating_routers", "sleep_ranking"),
+                  "messages", "faults", "gating_routers", "sleep_ranking"),
 }
 
 

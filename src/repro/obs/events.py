@@ -34,6 +34,13 @@ kind               meaning / payload
                    neighbor id (``-1`` for physical PSRs / detached)
 ``hs_send``        handshake control message scheduled ``(msg, dst)``
 ``hs_recv``        handshake control message handled ``(msg, src)``
+``fault``          injected fault (see ``repro.faults``)
+                   ``(action, target, detail)`` — ``action`` names the
+                   fault mechanism (``hs_drop``/``hs_dup``/``hs_delay``/
+                   ``link_kill``/``link_revive``/``power_reset``),
+                   ``target`` what it hit (message kind, ``"a->b"`` link,
+                   FSM state name) and ``detail`` a small scalar (peer
+                   node, extra delay, outage length)
 =================  ==========================================================
 
 The direction / state payload entries are *names* (``"EAST"``,
@@ -57,6 +64,7 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "psr": ("scope", "direction", "state", "pointer"),
     "hs_send": ("msg", "dst"),
     "hs_recv": ("msg", "src"),
+    "fault": ("action", "target", "detail"),
 }
 
 #: every known event kind, in taxonomy order
@@ -67,7 +75,8 @@ FLIT_KINDS = frozenset({"inject", "eject", "hop", "flov_latch"})
 
 #: kinds describing the power-gating control plane
 CONTROL_KINDS = frozenset(
-    {"power", "psr", "hs_send", "hs_recv", "credit_relay", "escape"})
+    {"power", "psr", "hs_send", "hs_recv", "credit_relay", "escape",
+     "fault"})
 
 
 class TraceEvent(NamedTuple):

@@ -83,6 +83,7 @@ def _soak(mechanism: str, pattern: str, gated_fraction: float,
     return checks
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("mechanism", MECHANISMS)
 @pytest.mark.parametrize("pattern", PATTERNS)
 def test_soak_invariants(mechanism, pattern):
@@ -99,6 +100,7 @@ def test_soak_invariants(mechanism, pattern):
         assert checks == ROUNDS
 
 
+@pytest.mark.slow
 def test_soak_gating_churn_gflov():
     """Epoch-changing gated sets stress the handshake the hardest."""
     from repro.gating.schedule import random_epochs
@@ -118,6 +120,7 @@ def test_soak_gating_churn_gflov():
     assert not pointer_coherence_violations(net)
 
 
+@pytest.mark.slow
 def test_soak_small_mesh_high_rate():
     """4x4 mesh near saturation: contention-heavy interleavings."""
     for mech in ("rflov", "gflov"):

@@ -21,11 +21,13 @@ transition instant (``partners`` = logical-neighbor states at commit,
 gated fractions / rates / seeds make each test a small soak.
 """
 
+import dataclasses
 import random
 
 import pytest
 
 from repro.config import NoCConfig
+from repro.faults import FaultInjector, FaultPlan
 from repro.gating.schedule import StaticGating, random_epochs
 from repro.noc.network import Network
 from repro.obs import Tracer
@@ -191,6 +193,108 @@ def test_aon_column_never_gates(mechanism, seed):
     assert not offenders, f"AON routers {sorted(offenders)} changed state"
     assert any(ev.node not in aon for ev in events), (
         "full gating produced no transitions at all; soak is vacuous")
+
+
+# -- adversarial schedules: the same invariants under live faults -------------
+#
+# The fault taxonomy (see ``repro.faults.injector``) only perturbs the
+# request/ack plane the watchdogs cover — so the *safety* invariants
+# above are claimed to hold even while messages are being dropped,
+# duplicated and delayed.  These soaks re-check them with an injector
+# attached and never healed.
+
+_ADVERSARIAL = FaultPlan(hs_drop=0.2, hs_dup=0.1, hs_delay=0.2,
+                         power_reset=0.004)
+
+
+def _faulty_soak(mechanism, *, seed, cycles=4500, schedule=None):
+    cfg = NoCConfig(mechanism=mechanism, width=4, height=4, seed=seed)
+    net = Network(cfg)
+    tracer = Tracer(kinds=("power",))
+    net.attach_tracer(tracer)
+    injector = FaultInjector(dataclasses.replace(_ADVERSARIAL, seed=seed))
+    net.attach_faults(injector)
+    if schedule is None:
+        schedule = random_epochs(cfg.num_routers, (0.5, 0.2, 0.6),
+                                 (600, 1000), seed=seed)
+    net.set_gating(schedule)
+    gen = TrafficGenerator(net, get_pattern("uniform", cfg), 0.04, seed=seed)
+    gen.run(cycles)
+    assert sum(injector.report().values()) > 0, (
+        "adversarial soak injected no faults; vacuous")
+    return cfg, tracer.events()
+
+
+@pytest.mark.parametrize("seed", (11, 12))
+def test_rflov_adjacency_invariant_survives_faults(seed):
+    """Dropped/duplicated/delayed handshake messages and spurious FSM
+    resets must never let two adjacent rFLOV routers gate together."""
+    cfg, events = _faulty_soak("rflov", seed=seed)
+    adj = _adjacency(cfg)
+    gated_seen = 0
+    for ev, states in _replay_states(cfg, events):
+        if states[ev.node] in GATED:
+            gated_seen += 1
+            bad = [nb for nb in adj[ev.node] if states[nb] in GATED]
+            assert not bad, (
+                f"cycle {ev.cycle}: router {ev.node} entered "
+                f"{states[ev.node]} under faults while adjacent {bad} gated")
+    assert gated_seen, "faulty soak never gated a router; invariant untested"
+
+
+@pytest.mark.parametrize("seed", (13, 14))
+def test_gflov_commit_invariants_survive_faults(seed):
+    """Every sleep/wakeup commit must still observe fully-resolved
+    logical partners: a duplicated or late ack must never let a drain
+    commit against a DRAINING/WAKEUP partner."""
+    cfg, events = _faulty_soak("gflov", seed=seed)
+    commits = 0
+    for ev in events:
+        frm, to, reason, partners = ev.data
+        if to == "SLEEP" and reason == "drain_complete":
+            commits += 1
+            bad = [(p, st) for p, st in partners
+                   if st in ("DRAINING", "WAKEUP")]
+            assert not bad, (
+                f"cycle {ev.cycle}: faulty sleep commit at {ev.node} "
+                f"with mid-transition partners {bad}")
+        elif to == "ACTIVE" and reason == "wakeup_complete":
+            commits += 1
+            bad = [(p, st) for p, st in partners if st == "DRAINING"]
+            assert not bad, (
+                f"cycle {ev.cycle}: faulty wakeup commit at {ev.node} "
+                f"with draining partners {bad}")
+    assert commits, "faulty soak produced no commits; invariant untested"
+
+
+@pytest.mark.parametrize("mechanism", ("rflov", "gflov"))
+def test_aon_column_never_gates_under_faults(mechanism):
+    """Spurious power-FSM resets target the gateable plane only — the
+    always-on column must stay silent even under fault pressure."""
+    seed = 21
+    cfg = NoCConfig(mechanism=mechanism, width=4, height=4, seed=seed)
+    aon = {cfg.node_id(cfg.resolved_aon_column, y)
+           for y in range(cfg.height)}
+    sched = StaticGating(cfg.num_routers, 1.0, seed=seed)
+    _, events = _faulty_soak(mechanism, seed=seed, schedule=sched)
+    offenders = {ev.node for ev in events if ev.node in aon}
+    assert not offenders, (
+        f"AON routers {sorted(offenders)} changed state under faults")
+
+
+def test_power_event_stream_stays_well_formed_under_faults():
+    """The frm-consistency assertion inside ``_replay_states`` doubles as
+    the check: spurious resets and wake storms must still produce a
+    linearizable per-router transition history."""
+    cfg, events = _faulty_soak("gflov", seed=15)
+    valid = {"ACTIVE", "DRAINING", "SLEEP", "WAKEUP"}
+    count = 0
+    for ev, _states in _replay_states(cfg, events):
+        frm, to, reason, partners = ev.data
+        assert frm in valid and to in valid and frm != to
+        assert isinstance(reason, str) and reason
+        count += 1
+    assert count, "faulty soak produced no power events"
 
 
 # -- event-stream hygiene ------------------------------------------------------

@@ -153,3 +153,73 @@ def test_cache_clear(cache):
     assert len(cache) == 1
     cache.clear()
     assert len(cache) == 0
+
+
+# -- atomic writes -------------------------------------------------------------
+
+def test_interrupted_put_never_corrupts_a_warm_entry(cache, monkeypatch):
+    """A writer killed mid-serialization must leave the previous
+    complete entry in place — the temp-file + os.replace protocol means
+    a reader only ever sees old-complete or new-complete."""
+    import repro.harness.cache as cache_mod
+
+    task = _task()
+    old = _engine(cache).run([task])[0]
+    assert cache.hits == 0 and len(cache) == 1
+
+    real_dump = json.dump
+
+    def exploding_dump(payload, fh, **kw):
+        fh.write('{"schema": 1, "key": {}, "result":')  # partial bytes
+        raise KeyboardInterrupt("writer killed mid-write")
+
+    monkeypatch.setattr(cache_mod.json, "dump", exploding_dump)
+    with pytest.raises(KeyboardInterrupt):
+        cache.put(task.cache_key(), old)
+    monkeypatch.setattr(cache_mod.json, "dump", real_dump)
+
+    # the old entry must still load bit-identically, and no temp
+    # droppings may remain
+    assert cache.get(task.cache_key()) == old
+    assert not list(cache.root.rglob("*.tmp"))
+
+
+def test_concurrent_puts_leave_a_valid_entry(cache):
+    """Threads hammering the same key must never produce a torn file:
+    every interleaving ends with one complete, parseable entry."""
+    import threading
+
+    task = _task()
+    result = _engine(cache).run([task])[0]
+    key = task.cache_key()
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(25):
+                cache.put(key, result)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    with open(cache.path_for(key)) as fh:
+        payload = json.load(fh)  # parses => not torn
+    assert payload["schema"] == CACHE_SCHEMA_VERSION
+    assert cache.get(key) == result
+    assert not list(cache.root.rglob("*.tmp"))
+
+
+def test_atomic_write_json_direct(tmp_path):
+    from repro.harness.cache import atomic_write_json
+
+    target = tmp_path / "deep" / "nested" / "doc.json"
+    atomic_write_json(target, {"a": 1})
+    assert json.loads(target.read_text()) == {"a": 1}
+    atomic_write_json(target, {"a": 2})  # overwrite is atomic too
+    assert json.loads(target.read_text()) == {"a": 2}
+    assert not list(tmp_path.rglob("*.tmp"))

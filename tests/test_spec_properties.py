@@ -1,0 +1,171 @@
+"""Property-based round-trip tests for the declarative spec layer.
+
+Hypothesis generates arbitrary valid ``ExperimentSpec``/``SweepSpec``
+values and checks that every serialization path (dict, canonical JSON,
+TOML text) reproduces the spec exactly, and that ``stable_hash`` is
+independent of mapping key order.  Plus the registry negatives that the
+spec loader leans on (duplicate lazy registrations).
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry import (MECHANISMS, PATTERNS, DuplicateComponentError,
+                            Registry)
+from repro.spec import ExperimentSpec, SpecError, SweepSpec, load_spec_file
+
+MECH_NAMES = sorted(MECHANISMS.names())
+#: patterns whose constructors need no extra kwargs
+SIMPLE_PATTERNS = sorted(set(PATTERNS.names())
+                         - {"hotspot", "permutation", "asymmetric"})
+
+_rates = st.floats(min_value=0.0, max_value=0.3, allow_nan=False,
+                   allow_infinity=False)
+_fracs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                   allow_infinity=False)
+_cycles = st.none() | st.integers(min_value=0, max_value=100_000)
+
+experiment_specs = st.builds(
+    ExperimentSpec,
+    mechanism=st.sampled_from(MECH_NAMES),
+    pattern=st.sampled_from(SIMPLE_PATTERNS),
+    rate=_rates,
+    gated_fraction=_fracs,
+    warmup=_cycles,
+    measure=_cycles,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    kernel=st.none() | st.sampled_from(["dense", "active"]),
+    drain=st.booleans(),
+    keep_samples=st.booleans(),
+    overrides=st.fixed_dictionaries(
+        {}, optional={"width": st.integers(2, 8),
+                      "height": st.integers(2, 8),
+                      "packet_size": st.integers(1, 8)}),
+)
+
+sweep_specs = st.builds(
+    SweepSpec,
+    mechanisms=st.lists(st.sampled_from(MECH_NAMES), min_size=1,
+                        max_size=3, unique=True).map(tuple),
+    pattern=st.sampled_from(SIMPLE_PATTERNS),
+    rates=st.lists(_rates, min_size=1, max_size=3, unique=True).map(tuple),
+    gated_fractions=st.lists(_fracs, min_size=1, max_size=3,
+                             unique=True).map(tuple),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _toml_dump(data: dict) -> str:
+    """Minimal TOML writer for the flat-ish spec shape (absence = null)."""
+    lines = []
+    tables = []
+    for key, val in data.items():
+        if val is None:
+            continue  # TOML has no null: absence means "default"
+        if isinstance(val, dict):
+            tables.append((key, val))
+            continue
+        lines.append(f"{key} = {json.dumps(val)}")
+    for key, val in tables:
+        lines.append(f"[{key}]")
+        for k, v in val.items():
+            lines.append(f"{k} = {json.dumps(v)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- ExperimentSpec ------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(spec=experiment_specs)
+def test_experiment_spec_dict_round_trip(spec):
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=experiment_specs)
+def test_experiment_spec_json_round_trip(spec):
+    thawed = ExperimentSpec.from_dict(json.loads(spec.canonical_json()))
+    assert thawed == spec
+    assert thawed.stable_hash() == spec.stable_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=experiment_specs)
+def test_experiment_spec_toml_round_trip(spec, tmp_path_factory):
+    path = tmp_path_factory.mktemp("specs") / "spec.toml"
+    path.write_text(_toml_dump(spec.to_dict()))
+    thawed = load_spec_file(str(path))
+    assert isinstance(thawed, ExperimentSpec)
+    # fields TOML cannot express (null) fall back to the same defaults
+    assert thawed == spec
+    assert thawed.stable_hash() == spec.stable_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=experiment_specs, shuffled=st.randoms())
+def test_stable_hash_is_key_order_independent(spec, shuffled):
+    d = spec.to_dict()
+    keys = list(d)
+    shuffled.shuffle(keys)
+    reordered = {k: d[k] for k in keys}
+    assert ExperimentSpec.from_dict(reordered).stable_hash() == \
+        spec.stable_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=experiment_specs)
+def test_stable_hash_detects_any_field_change(spec):
+    bumped = dataclasses.replace(spec, seed=spec.seed + 1)
+    assert bumped.stable_hash() != spec.stable_hash()
+
+
+# -- SweepSpec -----------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(spec=sweep_specs)
+def test_sweep_spec_round_trips_and_expands_consistently(spec):
+    thawed = SweepSpec.from_dict(json.loads(spec.canonical_json()))
+    assert thawed == spec
+    assert thawed.stable_hash() == spec.stable_hash()
+    cells = spec.expand()
+    assert len(cells) == (len(spec.mechanisms) * len(spec.rates)
+                          * len(spec.gated_fractions))
+    # mechanism-major order, every cell individually valid + hashable
+    assert [c.mechanism for c in cells] == [
+        m for m in spec.mechanisms
+        for _ in range(len(spec.rates) * len(spec.gated_fractions))]
+    assert len({c.stable_hash() for c in cells}) == len(cells)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=sweep_specs, shuffled=st.randoms())
+def test_sweep_stable_hash_is_key_order_independent(spec, shuffled):
+    d = spec.to_dict()
+    keys = list(d)
+    shuffled.shuffle(keys)
+    assert SweepSpec.from_dict({k: d[k] for k in keys}).stable_hash() == \
+        spec.stable_hash()
+
+
+# -- negatives -----------------------------------------------------------------
+
+def test_unknown_fields_and_missing_mechanism_rejected():
+    with pytest.raises(SpecError, match="unknown spec field"):
+        ExperimentSpec.from_dict({"mechanism": "gflov", "typo_field": 1})
+    with pytest.raises(SpecError, match="missing the required"):
+        ExperimentSpec.from_dict({"pattern": "uniform"})
+    with pytest.raises(SpecError, match="unknown sweep spec field"):
+        SweepSpec.from_dict({"mechanisms": ["gflov"], "rate": 0.1})
+
+
+def test_duplicate_register_lazy_raises():
+    reg = Registry("widget")
+    reg.register_lazy("sqrt", "math", "sqrt")
+    with pytest.raises(DuplicateComponentError):
+        reg.register_lazy("sqrt", "math", "sqrt")  # lazy-over-lazy
+    with pytest.raises(DuplicateComponentError):
+        reg.register("sqrt", object())  # eager-over-lazy
