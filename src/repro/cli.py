@@ -41,6 +41,7 @@ registries (:mod:`repro.registry`) — plugin components loaded via
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .config import NoCConfig, PowerConfig, table1_config
@@ -153,7 +154,8 @@ def cmd_synthetic(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .harness import ParallelSweep, series_table, sweep_fractions
+    from .harness import (BatchedSweep, ParallelSweep, series_table,
+                          sweep_fractions)
 
     mechs = args.mechanisms.split(",")
     fracs = [float(f) for f in args.fractions.split(",")]
@@ -166,16 +168,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if done == total:
             print(file=sys.stderr)
 
-    engine = ParallelSweep(args.jobs, use_cache=not args.no_cache,
-                           progress=progress if args.verbose else None)
+    if args.kernel == "batched":
+        engine = BatchedSweep(args.batch_size, use_cache=not args.no_cache,
+                              progress=progress if args.verbose else None)
+        workers = f"batch size {engine.batch_size}"
+    else:
+        engine = ParallelSweep(args.jobs, use_cache=not args.no_cache,
+                               progress=progress if args.verbose else None)
+        workers = f"{engine.max_workers} workers"
     series = sweep_fractions(mechs, fracs, pattern=args.pattern,
                              rate=args.rate, seed=args.seed,
                              warmup=args.warmup, measure=args.measure,
                              engine=engine)
     print(f"sweep: {len(mechs) * len(fracs)} tasks, "
           f"{engine.last_cache_hits} cache hits, "
-          f"executed {engine.last_mode} "
-          f"({engine.max_workers} workers)")
+          f"executed {engine.last_mode} ({workers})")
     print()
     print(series_table("avg latency (cycles)", series, "avg_latency"))
     print()
@@ -410,6 +417,8 @@ def cmd_spec(args: argparse.Namespace) -> int:
         return 0
 
     # run
+    if args.kernel:
+        spec = dataclasses.replace(spec, kernel=args.kernel)
     if isinstance(spec, ExperimentSpec):
         from .harness import run_spec
         from .harness.cache import result_to_dict, stable_digest
@@ -431,17 +440,30 @@ def cmd_spec(args: argparse.Namespace) -> int:
         print(f"result digest      {stable_digest(result_to_dict(r))}")
         return 0
 
-    from .harness import ParallelSweep, run_sweep_spec, series_table
+    from .harness import BatchedSweep, ParallelSweep, run_sweep_spec, \
+        series_table
+    from .harness.cache import result_to_dict, stable_digest
 
-    engine = ParallelSweep(args.jobs, use_cache=not args.no_cache)
+    if args.kernel == "batched":
+        engine = BatchedSweep(args.batch_size, use_cache=not args.no_cache)
+        workers = f"batch size {engine.batch_size}"
+    else:
+        engine = ParallelSweep(args.jobs, use_cache=not args.no_cache)
+        workers = f"{engine.max_workers} workers"
     series = run_sweep_spec(spec, engine=engine)
     cells = sum(len(rs) for rs in series.values())
     print(f"sweep: {cells} cells, {engine.last_cache_hits} cache hits, "
-          f"executed {engine.last_mode} ({engine.max_workers} workers)")
+          f"executed {engine.last_mode} ({workers})")
     print()
     print(series_table("avg latency (cycles)", series, "avg_latency"))
     print()
     print(series_table("total power (mW)", series, "total_w", scale=1e3))
+    # one digest over every cell, in cell order: lets CI assert
+    # cross-kernel equality of a whole sweep with a single grep
+    digest = stable_digest(
+        {m: [result_to_dict(r) for r in rs] for m, rs in series.items()})
+    print()
+    print(f"results digest     {digest}")
     return 0
 
 
@@ -523,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fractions", default="0.0,0.2,0.4,0.6,0.8")
     p.add_argument("--jobs", "-j", type=int, default=None,
                    help="worker processes (default: auto / $REPRO_JOBS)")
+    p.add_argument("--kernel", default="",
+                   choices=[""] + list(KERNELS.names()),
+                   help="simulation kernel; 'batched' steps cells as "
+                        "in-process replica batches instead of pooling")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="replicas per batched-kernel invocation "
+                        "(default 8; only with --kernel batched)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk result cache")
     p.add_argument("--verbose", "-v", action="store_true",
@@ -634,7 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: no schedule change)")
     vp.add_argument("--mutant", default="",
                     help="check a deliberately broken FSM variant "
-                         "(e.g. drop_grant); expected to FAIL")
+                         "(drop_grant, dup_drain_done, lost_wake_abort); "
+                         "expected to FAIL")
     vp.add_argument("--max-states", type=int, default=2_000_000)
     vp = vsub.add_parser(
         "soak", help="randomized fault soaks with quiescence checking")
@@ -668,6 +698,14 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--jobs", "-j", type=int, default=None,
                             help="worker processes for sweep specs "
                                  "(default: auto / $REPRO_JOBS)")
+            sp.add_argument("--kernel", default="",
+                            choices=[""] + list(KERNELS.names()),
+                            help="override the spec's simulation kernel; "
+                                 "'batched' runs sweep cells as in-process "
+                                 "replica batches")
+            sp.add_argument("--batch-size", type=int, default=8,
+                            help="replicas per batched-kernel invocation "
+                                 "(default 8; only with --kernel batched)")
             sp.add_argument("--no-cache", action="store_true",
                             help="bypass the on-disk result cache")
     return ap

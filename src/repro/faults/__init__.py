@@ -17,7 +17,7 @@ from .injector import (FAULTABLE_KINDS, REORDER_SAFE_KINDS,
                        FaultInjector, FaultPlan)
 from .modelcheck import CheckResult, ModelConfig, check_model
 from .soak import FaultSoakReport, FaultSoakSpec, diagnose_liveness, \
-    run_fault_soak
+    run_fault_soak, run_fault_soak_batch
 
 __all__ = [
     "FAULTABLE_KINDS",
@@ -31,4 +31,5 @@ __all__ = [
     "FaultSoakSpec",
     "diagnose_liveness",
     "run_fault_soak",
+    "run_fault_soak_batch",
 ]

@@ -76,9 +76,22 @@ _OPP = (1, 0, 3, 2)
 _DIR_NAMES = ("EAST", "WEST", "NORTH", "SOUTH")
 
 #: supported FSM mutants (deliberately broken variants used to prove the
-#: checker can find bugs): ``drop_grant`` makes a draining router ignore
-#: incoming ``drain_done`` grants (mirrors dropping the ack handler)
-MUTANTS = ("drop_grant",)
+#: checker can find bugs):
+#:
+#: * ``drop_grant`` — a draining router ignores incoming ``drain_done``
+#:   grants (mirrors dropping the ack handler);
+#: * ``dup_drain_done`` — the requester accepts *stale* ``drain_done``
+#:   acks as fresh (mirrors a duplicated ack from an aborted earlier
+#:   attempt slipping past the token check), so a drain can commit on a
+#:   grant that was never addressed to the live attempt;
+#: * ``lost_wake_abort`` — the wake watchdog fires (a stuck WAKEUP
+#:   router gives up and returns to SLEEP) but the entire abort
+#:   hand-off is lost: relays never receive the ``wake_abort`` copies
+#:   that restore their pointer/PSR views, and the router's
+#:   ``want_wake`` retry entry is dropped.  The faithful model omits
+#:   the watchdog entirely (fault-free handshakes terminate without
+#:   it), so this mutant also enables the abort transition itself.
+MUTANTS = ("drop_grant", "dup_drain_done", "lost_wake_abort")
 
 
 @dataclass(frozen=True)
@@ -344,7 +357,10 @@ class _Model:
         if self.cfg.mutant == "drop_grant" and w.st[r] == D:
             return  # MUTANT: drainer ignores its grants
         if not cur:
-            return  # stale ack for an aborted earlier attempt
+            if self.cfg.mutant != "dup_drain_done":
+                return  # stale ack for an aborted earlier attempt
+            # MUTANT: a duplicated ack from an aborted earlier attempt
+            # is accepted as if it answered the live one
         w.pend[r].discard(src)
 
     def _on_sleep(self, w: _State, r: int, src: int, beyond: int,
@@ -547,6 +563,13 @@ class _Model:
             elif st == W:
                 if not self._effective_pend(probe, n):
                     yield apply(("active", n), self._commit_active, n)
+                elif self.cfg.mutant == "lost_wake_abort":
+                    # MUTANT: the wake watchdog may fire on any stuck
+                    # wakeup, and the whole abort hand-off is lost —
+                    # relays never hear wake_abort, the retry entry is
+                    # dropped.  Clearing want_wake also keeps the state
+                    # space finite (no unbounded abort/retry cycles).
+                    yield apply(("wake_abort", n), self._abort_wake_lost, n)
         if self.gated1 is not None and epoch == 0:
             yield apply(("epoch",), self._advance_epoch)
 
@@ -562,6 +585,19 @@ class _Model:
     def _fire_obligation(self, w: _State, obs: int, req: int) -> None:
         kind, cur = w.obls.pop((obs, req))
         self._send(w, obs, req, ("drain_done", cur))
+
+    def _abort_wake_lost(self, w: _State, n: int) -> None:
+        """``lost_wake_abort`` mutant body: the watchdog retreats a
+        stuck WAKEUP router to SLEEP, but the entire abort hand-off is
+        lost — the ``wake_abort`` copies that should restore the
+        relays' pointer/PSR views are never sent, and the router's
+        ``want_wake`` retry entry is dropped (its bookkeeping believed
+        the aborts were delivered, so it waits for a ``wake_req`` that
+        never comes)."""
+        w.st[n] = S
+        w.pend[n] = set()
+        w.ww[n] = False
+        self._stale_out(w, n)
 
     # -- per-state and terminal property checks -------------------------------
 
@@ -645,6 +681,9 @@ def _label_str(label: tuple) -> str:
         return f"node {label[1]} starts wakeup"
     if kind == "active":
         return f"node {label[1]} commits ACTIVE"
+    if kind == "wake_abort":
+        return (f"node {label[1]} aborts wakeup "
+                f"(wake_abort notifications lost)")
     if kind == "epoch":
         return "OS gating schedule change"
     return repr(label)
@@ -669,6 +708,9 @@ def _label_event(step: int, label: tuple) -> TraceEvent | None:
     if kind == "active":
         return TraceEvent(step, "power", label[1],
                           ("WAKEUP", "ACTIVE", "wakeup_complete", ()))
+    if kind == "wake_abort":
+        return TraceEvent(step, "power", label[1],
+                          ("WAKEUP", "SLEEP", "wake_watchdog", ()))
     return None  # epoch: schedule input, not a protocol event
 
 

@@ -371,3 +371,88 @@ class ParallelSweep:
         for i, res in enumerate(results):
             self._notify(i + 1, total, items[i], res, False)
         return results
+
+
+class BatchedSweep(ParallelSweep):
+    """Executor that steps compatible tasks as in-process replica batches.
+
+    Instead of fanning tasks over a process pool, compatible tasks
+    (same config overrides, hence same topology) are grouped into
+    chunks of ``batch_size`` and each chunk is executed as one
+    :func:`repro.noc.batched.run_spec_batch` invocation — one kernel
+    loop stepping all replicas in lockstep.  The per-task contract is
+    unchanged:
+
+    * **seed** — tasks are :meth:`SweepTask.resolved` first, so every
+      replica carries the same explicit/derived seed it would under
+      :class:`ParallelSweep`, and results are bit-identical to the solo
+      paths (the kernel-equivalence tests assert digest equality).
+    * **cache** — each replica keeps its own
+      :meth:`~SweepTask.cache_key` (the kernel is excluded from cache
+      keys); hits skip batching, misses are batched and stored
+      individually.
+    * **timeout** — execution is in-process, so like the serial path
+      there is no preemption; ``task_timeout`` is accepted but inert.
+
+    Tasks carrying a live ``schedule`` object are batched with that
+    schedule (and stay uncached, as under :class:`ParallelSweep`).
+    """
+
+    def __init__(self, batch_size: int = 8, *, use_cache: bool = True,
+                 cache: ResultCache | None = None,
+                 progress: ProgressFn | None = None) -> None:
+        super().__init__(max_workers=1, use_cache=use_cache, cache=cache,
+                         progress=progress)
+        self.batch_size = max(1, int(batch_size))
+        #: batches executed during the last run()
+        self.last_batches = 0
+
+    @staticmethod
+    def _group_key(task: SweepTask) -> tuple:
+        """Batch-compatibility key: replicas must share a topology, and
+        the config overrides are what determine it."""
+        return tuple(sorted((k, repr(v)) for k, v in task.overrides.items()))
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[ExperimentResult]:
+        """Execute tasks (cache, then lockstep batches); order preserved."""
+        from ..noc.batched import run_spec_batch
+
+        resolved = [t.resolved() for t in tasks]
+        total = len(resolved)
+        results: list[ExperimentResult | None] = [None] * total
+        caching = self._caching()
+        keys: list[dict[str, Any] | None] = [None] * total
+
+        pending: list[int] = []
+        done = 0
+        for i, task in enumerate(resolved):
+            key = task.cache_key() if caching else None
+            keys[i] = key
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                self._notify(done, total, task, hit, True)
+            else:
+                pending.append(i)
+        self.last_cache_hits = total - len(pending)
+        self.last_batches = 0
+
+        groups: dict[tuple, list[int]] = {}
+        for i in pending:
+            groups.setdefault(self._group_key(resolved[i]), []).append(i)
+        for idxs in groups.values():
+            for start in range(0, len(idxs), self.batch_size):
+                chunk = idxs[start:start + self.batch_size]
+                batch_results = run_spec_batch(
+                    [resolved[i].spec() for i in chunk],
+                    schedules=[resolved[i].schedule for i in chunk])
+                self.last_batches += 1
+                for i, res in zip(chunk, batch_results):
+                    results[i] = res
+                    if caching and keys[i] is not None:
+                        self.cache.put(keys[i], res)
+                    done += 1
+                    self._notify(done, total, resolved[i], res, False)
+        self.last_mode = "batched" if pending else "cached"
+        return results  # type: ignore[return-value]

@@ -1,0 +1,350 @@
+"""Batched replica execution: step *B* independent cells in one loop.
+
+Every figure in the paper is a grid of *replicas* — the same topology
+stepped under different seeds, injection rates and gated fractions.
+:class:`ReplicaBatch` executes B such replicas in lockstep inside a
+single kernel invocation:
+
+* **Shared timing wheels.**  All replicas' channels register into one
+  pair of batch-owned wheels (``dict[cycle, list[channel]]``); each
+  channel is tagged with its replica index (``owner``), so one bucket
+  pop per cycle services the whole batch and registrations left behind
+  by retired replicas are dropped on sight instead of delivered.
+* **Struct-of-arrays bookkeeping.**  The spec runner keeps the
+  replica-axis lifecycle state (warmup boundary, measure horizon,
+  drain-idle streaks, liveness) in numpy arrays, so per-cycle phase
+  transitions are vectorized comparisons rather than per-replica
+  Python branching.
+* **Per-replica dispatch for the data plane.**  Phase profiles
+  (``repro profile``) show the evaluation phase dominates the active
+  kernel (50–80% of step time), with traffic injection and the
+  handshake control plane splitting most of the rest.  All three are
+  irreducibly sequential per replica — traffic draws a per-replica
+  Python RNG stream and the router pipeline is branchy wormhole logic
+  — so the batch kernel dispatches them into the *exact* hot paths the
+  ``active`` kernel uses.  That is what makes the digest-equality
+  contract cheap to keep: per replica, the batch executes the same
+  bytecode on the same state in the same order.
+
+**Digest-equality contract.**  Each replica in a batch produces an
+:class:`~repro.harness.runner.ExperimentResult` bit-identical to a solo
+:func:`~repro.harness.runner.run_spec` of its spec under the ``active``
+(and therefore ``dense``) kernel — ``tests/test_kernel_equivalence.py``
+asserts ``stable_digest`` equality per cell.  Replicas share no
+simulation state: the shared wheels partition by channel ownership, and
+cross-replica interleaving within a cycle cannot reorder any
+within-replica effect (deliveries only mutate the owning replica's
+routers).
+
+**Fault injection.**  Each replica may carry its *own*
+:class:`~repro.faults.FaultInjector` (bound via ``net.attach_faults``
+before :meth:`ReplicaBatch.add`); the per-cycle fault hook runs in the
+replica's control-plane slot exactly as under ``active``.  One injector
+cannot be shared across replicas — ``FaultInjector.bind`` already
+rejects rebinding to a different network.  Observability attachments
+are narrower than ``run_spec``: per-replica samplers (``_obs_tick``)
+fire normally, but tracers/profilers are per-network as usual and there
+is no batch-level profiler.
+
+The ``batched`` KERNELS entry aliases the ``active`` step for a solo
+``Network`` (B = 1 degenerates to the activity-driven kernel), so
+``spec.kernel = "batched"`` / ``REPRO_KERNEL=batched`` work everywhere
+a kernel name is accepted; batching across replicas is orchestrated by
+:func:`run_spec_batch` and :class:`repro.harness.parallel.BatchedSweep`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..gating.schedule import GatingSchedule, StaticGating
+from ..spec import ExperimentSpec, SpecError
+from ..traffic.generator import TrafficGenerator
+from ..traffic.patterns import get_pattern
+from .network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.runner import ExperimentResult
+
+#: drain-phase caps mirrored from ``run_spec`` (cycle-accuracy contract:
+#: the batch runner must retire a replica at exactly the cycle the solo
+#: runner would stop stepping it)
+DRAIN_MAX_STEPS = 20_000
+DRAIN_IDLE_STREAK = 8
+
+
+class ReplicaBatch:
+    """Lockstep engine stepping B independent replica networks.
+
+    Members are added at cycle 0 and advance together; the caller
+    drives lifecycle (who ticks traffic, who retires) while the engine
+    owns the per-cycle phase order and the shared timing wheels.  The
+    phase contract per replica and cycle is identical to
+    ``Network._step_active``: control plane (schedule change, mechanism
+    step, fault hook) -> credit delivery -> flit delivery -> active
+    router evaluation.
+    """
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self._nets: list[Network] = []
+        self._gens: list[TrafficGenerator | None] = []
+        #: python list on the hot path (scalar indexing beats numpy here)
+        self._retired: list[bool] = []
+        self._live: list[int] = []
+        #: shared wheels: arrival cycle -> owner-tagged channels due then
+        self._flit_wheel: dict[int, list] = {}
+        self._credit_wheel: dict[int, list] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nets)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def add(self, net: Network, gen: TrafficGenerator | None = None) -> int:
+        """Adopt ``net`` (and its traffic source) as the next replica.
+
+        Rebinds every wired channel into the batch's shared wheels and
+        tags it with the replica index.  Must happen before any
+        stepping — all replicas advance from cycle 0 together.
+        """
+        if net.kernel == "dense":
+            raise SpecError("dense-kernel networks bind no timing wheels "
+                            "and cannot join a ReplicaBatch")
+        if net.cycle != 0 or self.cycle != 0:
+            raise SpecError("replicas must join a ReplicaBatch at cycle 0")
+        idx = len(self._nets)
+        fw, cw = self._flit_wheel, self._credit_wheel
+        for own_wheel, shared in ((net._flit_wheel, fw),
+                                  (net._credit_wheel, cw)):
+            for cyc, bucket in own_wheel.items():
+                shared.setdefault(cyc, []).extend(bucket)
+        net._flit_wheel = fw
+        net._credit_wheel = cw
+        for r in net.routers:
+            for ch in r.out_flit.values():
+                ch.wheel = fw
+                ch.owner = idx
+            for ch in r.out_credit.values():
+                ch.wheel = cw
+                ch.owner = idx
+        self._nets.append(net)
+        self._gens.append(gen)
+        self._retired.append(False)
+        self._live.append(idx)
+        return idx
+
+    def retire(self, idx: int) -> None:
+        """Stop stepping replica ``idx``; its leftover wheel
+        registrations are dropped (never delivered) when their buckets
+        come due, so siblings see no perturbation."""
+        if not self._retired[idx]:
+            self._retired[idx] = True
+            self._live.remove(idx)
+
+    # -- lockstep cycle -------------------------------------------------------
+
+    def step_cycle(self, tick: Sequence[bool]) -> None:
+        """Advance every live replica by one cycle.
+
+        ``tick[i]`` selects which replicas inject traffic this cycle
+        (warmup/measure phase); drain-phase replicas step without
+        ticking, mirroring ``run_spec``'s drain loop.
+        """
+        now = self.cycle
+        nets = self._nets
+        gens = self._gens
+        live = self._live
+        retired = self._retired
+
+        # P1: per-replica control plane, ascending replica order.  Each
+        # replica's slot runs tick -> schedule change -> mechanism step
+        # -> fault hook, exactly the solo per-cycle prefix.
+        for i in live:
+            net = nets[i]
+            if tick[i]:
+                gens[i].tick()
+            if net._cp_idx < len(net._change_points):
+                net._fire_schedule_changes(now)
+            net.mech.step(now)
+            flt = net._faults
+            if flt is not None:
+                flt.on_cycle(now)
+
+        # P2/P3: one shared bucket pop serves the whole batch.  The loop
+        # bodies match ``_step_active``; the only addition is the
+        # retired-owner drop.  Within one replica, bucket order equals
+        # that replica's solo registration order (appends preserve each
+        # owner's subsequence), so per-replica delivery order — the only
+        # order that can matter — is unchanged.
+        for wheel, deliver_name in ((self._credit_wheel, "deliver_credit"),
+                                    (self._flit_wheel, "deliver_flit")):
+            bucket = wheel.pop(now, None)
+            if bucket is None:
+                continue
+            for ch in bucket:
+                if retired[ch.owner]:
+                    ch.scheduled = False
+                    continue
+                q = ch._q
+                if q and q[0][0] <= now:
+                    deliver = getattr(ch.sink, deliver_name)
+                    d = ch.sink_dir
+                    while q and q[0][0] <= now:
+                        deliver(q.popleft()[1], d, now)
+                if q:  # still in flight: re-file at the new head arrival
+                    head = q[0][0]
+                    nxt = wheel.get(head)
+                    if nxt is None:
+                        wheel[head] = [ch]
+                    else:
+                        nxt.append(ch)
+                else:
+                    ch.scheduled = False
+
+        # P4: per-replica active-router scan (verbatim ``_step_active``).
+        for i in live:
+            net = nets[i]
+            routers = net.routers
+            j = 0
+            while True:
+                rem = net._active_mask >> j
+                if not rem:
+                    break
+                j += (rem & -rem).bit_length() - 1
+                r = routers[j]
+                if r.occupancy == 0 and r.ni._pending == 0:
+                    net._active_mask &= ~(1 << j)
+                    r._active = False
+                else:
+                    r.evaluate(now)
+                j += 1
+            obs = net._obs_tick
+            if obs is not None:
+                obs(now)
+            net.cycle = now + 1
+        self.cycle = now + 1
+
+
+def run_spec_batch(specs: Sequence[ExperimentSpec], *,
+                   schedules: Sequence[GatingSchedule | None] | None = None,
+                   ) -> "list[ExperimentResult]":
+    """Run B experiment specs as one :class:`ReplicaBatch` invocation.
+
+    Returns one :class:`~repro.harness.runner.ExperimentResult` per
+    spec, in order, each bit-identical to ``run_spec(spec)`` — same
+    construction order, same seeds, same warmup/measure/drain
+    transitions at the same per-replica cycles.  Replicas may have
+    mixed rates, fractions, seeds and horizons; early-finishing
+    replicas retire without perturbing the rest.
+    """
+    from ..harness.runner import ExperimentResult
+
+    if schedules is None:
+        schedules = [None] * len(specs)
+    if len(schedules) != len(specs):
+        raise SpecError("schedules must align 1:1 with specs")
+
+    batch = ReplicaBatch()
+    resolved: list[ExperimentSpec] = []
+    for spec, schedule in zip(specs, schedules):
+        if spec.workload is not None:
+            raise SpecError("full-system workload specs cannot be batched; "
+                            "run them through run_spec")
+        spec = spec.resolved()
+        cfg = spec.config()
+        net = Network(cfg, keep_samples=spec.keep_samples, kernel="batched")
+        if schedule is None:
+            schedule = spec.build_schedule(cfg)
+        if schedule is None:
+            schedule = StaticGating(cfg.num_routers, spec.gated_fraction,
+                                    seed=spec.seed)
+        net.set_gating(schedule)
+        gen = TrafficGenerator(net, get_pattern(spec.pattern, cfg,
+                                                **dict(spec.pattern_kwargs)),
+                               spec.rate, seed=spec.seed)
+        batch.add(net, gen)
+        resolved.append(spec)
+
+    n = len(resolved)
+    results: list[ExperimentResult | None] = [None] * n
+    # replica-axis lifecycle state (struct-of-arrays)
+    warm = np.array([s.warmup for s in resolved], dtype=np.int64)
+    horizon = warm + np.array([s.measure for s in resolved], dtype=np.int64)
+    drain = np.array([s.drain for s in resolved], dtype=bool)
+    draining = np.zeros(n, dtype=bool)
+    idle = np.zeros(n, dtype=np.int64)
+    steps = np.zeros(n, dtype=np.int64)
+    reports = [None] * n
+    tick = [True] * n
+
+    def finish(i: int) -> None:
+        spec = resolved[i]
+        net = batch._nets[i]
+        rep = reports[i]
+        stats = net.stats
+        power = rep.power_w(net.pcfg.cycle_time_s)
+        states = net.power_states()
+        results[i] = ExperimentResult(
+            mechanism=spec.mechanism,
+            pattern=spec.pattern,
+            rate=spec.rate,
+            gated_fraction=spec.gated_fraction,
+            warmup=spec.warmup,
+            measured_cycles=spec.measure,
+            avg_latency=stats.avg_latency,
+            avg_network_latency=stats.avg_network_latency,
+            breakdown=stats.breakdown(net.cfg.packet_size),
+            throughput=stats.throughput(spec.measure, net.cfg.num_routers),
+            packets=stats.measured_packets,
+            escaped=stats.escaped_packets,
+            static_w=power["static"],
+            dynamic_w=power["dynamic"],
+            total_w=power["total"],
+            static_j=rep.static_j,
+            dynamic_j=rep.dynamic_j + rep.gating_j,
+            total_j=rep.total_j,
+            sleeping_routers=states.get("SLEEP", 0),
+            gating_events=net.accountant.gating_events,
+            power_states=states,
+            samples=list(stats.samples) if spec.keep_samples else [],
+            trace_path=None,
+            metrics={},
+        )
+        batch.retire(i)
+
+    while batch.live_count:
+        t = batch.cycle
+        # vectorized phase boundaries on the replica axis
+        for i in np.nonzero(warm == t)[0]:
+            if results[i] is None:
+                batch._nets[i].begin_measurement()
+        for i in np.nonzero(horizon == t)[0]:
+            if results[i] is not None:
+                continue
+            # measurement window closes exactly at warmup + measure
+            reports[i] = batch._nets[i].accountant.report(int(t))
+            tick[i] = False
+            if drain[i]:
+                draining[i] = True
+            else:
+                finish(i)
+        if not batch.live_count:
+            break
+        batch.step_cycle(tick)
+        # post-step drain bookkeeping, mirroring run_spec's loop:
+        # idle-streak reset on any in-fabric flit, hard 20k-step cap
+        for i in np.nonzero(draining)[0]:
+            steps[i] += 1
+            idle[i] = idle[i] + 1 if batch._nets[i].network_drained() else 0
+            if idle[i] > DRAIN_IDLE_STREAK or steps[i] >= DRAIN_MAX_STEPS:
+                draining[i] = False
+                finish(i)
+
+    return results  # type: ignore[return-value]

@@ -117,3 +117,37 @@ def test_extended_soak_campaign(mech, seed):
     rep = run_fault_soak(spec)
     assert rep.ok, (f"{mech} seed={spec.seed}: violations="
                     f"{rep.violations} diagnosis={rep.diagnosis}")
+
+
+# -- batched soak execution ---------------------------------------------------
+
+def test_batched_soak_matches_solo_reports():
+    """One ReplicaBatch invocation fanning a soak campaign must produce
+    reports equal to solo ``run_fault_soak`` runs, including mixed
+    burst lengths (replicas heal and retire at different cycles)."""
+    from repro.faults import run_fault_soak_batch
+
+    specs = [
+        dataclasses.replace(SMOKE_SPECS[0], burst_cycles=700),
+        dataclasses.replace(SMOKE_SPECS[1], burst_cycles=900, epochs=2),
+        dataclasses.replace(SMOKE_SPECS[2], burst_cycles=500),
+    ]
+    solo = [run_fault_soak(s) for s in specs]
+    batched = run_fault_soak_batch(specs)
+    assert batched == solo
+
+
+def test_batched_soak_rejects_dense_and_shared_injectors():
+    from repro.faults import run_fault_soak_batch
+    from repro.spec import SpecError
+
+    with pytest.raises(SpecError, match="dense"):
+        run_fault_soak_batch([dataclasses.replace(SMOKE_SPECS[0],
+                                                  kernel="dense")])
+    # one injector cannot serve two replicas: bind() refuses re-binding
+    injector = FaultInjector(SMOKE_PLAN)
+    net_a = Network(NoCConfig(mechanism="gflov", seed=1))
+    net_b = Network(NoCConfig(mechanism="gflov", seed=2))
+    net_a.attach_faults(injector)
+    with pytest.raises(ValueError, match="already bound"):
+        net_b.attach_faults(injector)

@@ -92,6 +92,49 @@ def test_drop_grant_mutant_yields_deadlock_counterexample():
     assert cycles == sorted(cycles)
 
 
+def test_dup_drain_done_mutant_yields_forbidden_commit():
+    """Accepting a stale (duplicated) drain_done as fresh lets a drain
+    commit on a grant minted for an aborted earlier attempt: the
+    checker must expose a forbidden SLEEP commit with a mid-transition
+    partner."""
+    assert "dup_drain_done" in MUTANTS
+    res = check_model(ModelConfig(generalized=True, gated=(0, 1, 3),
+                                  mutant="dup_drain_done"))
+    assert not res.ok, "mutant went undetected — checker is vacuous"
+    bad = [v for v in res.violations if v.kind == "forbidden_commit"]
+    assert bad, f"expected a forbidden commit, got {res.summary()}"
+    v = bad[0]
+    assert "committed SLEEP" in v.detail
+    assert len(v.trace) > 0
+    assert any("commits SLEEP" in step for step in v.trace)
+    cycles = [ev.cycle for ev in v.events]
+    assert cycles == sorted(cycles)
+    # the same instance is clean without the mutant
+    assert check_model(ModelConfig(generalized=True, gated=(0, 1, 3))).ok
+
+
+def test_lost_wake_abort_mutant_yields_liveness_and_view_violations():
+    """Losing the wake watchdog's abort hand-off strands the aborted
+    router asleep and leaves relays with stale WAKEUP views: the
+    checker must report both the liveness hole and the stale views."""
+    assert "lost_wake_abort" in MUTANTS
+    res = check_model(ModelConfig(generalized=True, gated=(0, 3),
+                                  regated=(3,), mutant="lost_wake_abort"))
+    assert not res.ok, "mutant went undetected — checker is vacuous"
+    kinds = {v.kind for v in res.violations}
+    assert "never_woken" in kinds, res.summary()
+    assert "stale_view" in kinds, res.summary()
+    v = next(v for v in res.violations if v.kind == "never_woken")
+    assert any("aborts wakeup" in step for step in v.trace), v.trace
+    # the abort renders as a power event in the repo-wide taxonomy
+    ev_names = [ev.data[2] for v2 in res.violations
+                for ev in v2.events if ev.kind == "power"]
+    assert "wake_watchdog" in ev_names
+    # the same instance is clean without the mutant
+    assert check_model(ModelConfig(generalized=True, gated=(0, 3),
+                                   regated=(3,))).ok
+
+
 def test_mutant_counterexample_is_minimal_under_bfs():
     """BFS parent pointers yield shortest counterexamples; the known
     drop_grant deadlock needs one full failed drain handshake
