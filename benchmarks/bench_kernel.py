@@ -203,37 +203,24 @@ def summarize(rows: list[dict]) -> dict:
     return out
 
 
-#: per-cell ratios the --check gate enforces
-GATE_METRICS = ("dense_over_active", "active_over_batched")
+from repro.harness.benchdiff import (GATED_METRICS,  # noqa: E402
+                                     check_cells, load_bench_source)
+
+#: per-cell ratios the --check gate enforces (shared with benchdiff)
+GATE_METRICS = GATED_METRICS
 
 
 def check(rows: list[dict], baseline_path: str, tolerance: float) -> int:
-    with open(baseline_path) as fh:
-        recorded = {(c["mechanism"], c["gated_fraction"]): c
-                    for c in json.load(fh)["cells"]}
-    failures = []
-    for r in rows:
-        key = (r["mechanism"], r["gated_fraction"])
-        base = recorded.get(key)
-        if base is None:
-            continue
-        for metric in GATE_METRICS:
-            if metric not in r:
-                continue
-            if metric not in base:
-                # a stored snapshot from before the column existed must
-                # name the cell, not die on a KeyError
-                failures.append(
-                    f"{key}: recorded snapshot has no '{metric}' for this "
-                    f"cell — {baseline_path} predates the column; "
-                    f"regenerate it with benchmarks/bench_kernel.py")
-                continue
-            floor = base[metric] * (1.0 - tolerance)
-            if r[metric] < floor:
-                failures.append(
-                    f"{key}: {metric} ratio {r[metric]:.2f} "
-                    f"< {floor:.2f} (recorded {base[metric]:.2f} "
-                    f"- {tolerance:.0%})")
+    """Gate freshly measured rows against a recorded snapshot.
+
+    ``baseline_path`` may be a local path or a ``file://``/``http(s)://``
+    URL — loading and the gate rule itself are shared with
+    :mod:`repro.harness.benchdiff` (and the service's ``/bench``
+    endpoint), so every consumer fails with identical messages.
+    """
+    recorded = load_bench_source(baseline_path)
+    failures = check_cells(rows, recorded, tolerance=tolerance,
+                           source=baseline_path)
     if failures:
         print("KERNEL PERFORMANCE REGRESSION:", file=sys.stderr)
         for f in failures:

@@ -525,6 +525,69 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ExperimentService
+
+    svc = ExperimentService(
+        args.host, args.port, workers=args.workers,
+        executor=args.executor, batch_size=args.batch_size,
+        use_cache=not args.no_cache,
+        bench_source=args.bench_snapshot or None)
+    try:
+        asyncio.run(svc.run_async(announce=lambda url: print(
+            f"repro service listening on {url}", flush=True)))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        with open(args.file) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        snap = client.submit_text(text, toml=args.file.endswith(".toml"),
+                                  priority=args.priority)
+    except ServiceError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro submit: cannot reach service at "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    job_id = snap["id"]
+    print(f"job                {job_id} (priority {snap['priority']}, "
+          f"{snap['total_cells']} cell"
+          f"{'s' if snap['total_cells'] != 1 else ''})")
+    if args.no_wait:
+        print(f"status             {snap['status']}")
+        return 0
+    snap = client.wait(job_id, timeout=args.timeout)
+    print(f"status             {snap['status']} "
+          f"({snap['cache_hit_cells']}/{snap['total_cells']} cells from "
+          f"cache)")
+    if snap["status"] not in ("done", "cache_hit"):
+        if snap.get("error"):
+            print(f"repro submit: job {job_id} failed: {snap['error']}",
+                  file=sys.stderr)
+        return 1
+    result = client.result(job_id)
+    # same label + digest the local 'repro spec run' prints, so the two
+    # paths are directly comparable with a grep
+    label = ("results digest" if result.get("kind") == "sweep"
+             else "result digest")
+    print(f"{label:<19}{result['digest']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -685,6 +748,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (default: auto / $REPRO_JOBS)")
 
     p = sub.add_parser(
+        "serve", help="run the experiment service (HTTP submit + SSE)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port (0 = ephemeral; default 8765)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrently running jobs (default 2)")
+    p.add_argument("--executor", default="pool",
+                   choices=("pool", "serial", "batched"),
+                   help="how each job's cells are executed (default pool)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="replicas per batched-kernel invocation "
+                        "(default 8; only with --executor batched)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the shared on-disk result cache")
+    p.add_argument("--bench-snapshot", default="",
+                   help="path or URL of a BENCH_kernel.json served on "
+                        "GET /bench")
+
+    p = sub.add_parser(
+        "submit", help="submit a spec file to a running service")
+    p.add_argument("file", help="*.toml or *.json spec file "
+                                "(see docs/specs.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--priority", type=int, default=None,
+                   help="queue priority, -100..100 (higher runs first)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return immediately")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the job (default 600)")
+
+    p = sub.add_parser(
         "spec", help="validate / hash / run declarative spec files")
     ssub = p.add_subparsers(dest="spec_command", required=True)
     for name, text in (
@@ -726,6 +821,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "spec": cmd_spec,
         "verify": cmd_verify,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }[args.command]
     return handler(args)
 

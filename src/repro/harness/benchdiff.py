@@ -14,6 +14,13 @@ Absolute seconds are host-dependent; the dense/active ratio is the
 hardware-independent signal (both kernels run back to back on the same
 host), which is why only ratio drops count as regressions while the
 ``*_s`` columns are informational.
+
+Snapshots load from a local path, a ``file://`` URL, or an
+``http(s)://`` URL through :func:`load_bench_source` — the one loader
+shared by ``bench_kernel.py --check``, ``repro bench diff``, and the
+experiment service's ``GET /bench`` endpoint.  The gate itself lives
+in :func:`check_cells` so the CI script and any other caller enforce
+byte-identical rules (and emit identical failure messages).
 """
 
 from __future__ import annotations
@@ -41,17 +48,37 @@ DEFAULT_TOLERANCE = 0.30
 CellKey = tuple[str, float]
 
 
-def load_bench(path: str) -> dict[str, Any]:
-    """Load a ``BENCH_kernel.json`` document, validating its shape."""
-    with open(path) as fh:
-        doc = json.load(fh)
+def _validate_bench(doc: Any, source: str) -> dict[str, Any]:
     if not isinstance(doc, dict) or not isinstance(doc.get("cells"), list):
-        raise ValueError(f"{path}: not a bench snapshot (no 'cells' list)")
+        raise ValueError(f"{source}: not a bench snapshot (no 'cells' list)")
     for cell in doc["cells"]:
         if "mechanism" not in cell or "gated_fraction" not in cell:
-            raise ValueError(f"{path}: cell missing mechanism/gated_fraction: "
-                             f"{cell!r}")
+            raise ValueError(f"{source}: cell missing mechanism/"
+                             f"gated_fraction: {cell!r}")
     return doc
+
+
+def load_bench_source(source: str) -> dict[str, Any]:
+    """Load a snapshot from a local path, ``file://`` or ``http(s)://``.
+
+    The one place snapshot bytes come from, regardless of where they
+    live: plain paths open the file directly; URLs go through
+    ``urllib.request``.  The returned document is shape-validated
+    either way.
+    """
+    if source.startswith(("http://", "https://", "file://")):
+        from urllib.request import urlopen
+        with urlopen(source, timeout=30.0) as resp:
+            doc = json.load(resp)
+    else:
+        with open(source) as fh:
+            doc = json.load(fh)
+    return _validate_bench(doc, source)
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Load a ``BENCH_kernel.json`` document (path or URL), validated."""
+    return load_bench_source(path)
 
 
 def _cells_by_key(doc: Mapping[str, Any]) -> dict[CellKey, dict]:
@@ -187,8 +214,8 @@ def diff_bench(old: Mapping[str, Any] | str, new: Mapping[str, Any] | str,
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
-    old_doc = load_bench(old) if isinstance(old, str) else old
-    new_doc = load_bench(new) if isinstance(new, str) else new
+    old_doc = load_bench_source(old) if isinstance(old, str) else old
+    new_doc = load_bench_source(new) if isinstance(new, str) else new
     old_cells = _cells_by_key(old_doc)
     new_cells = _cells_by_key(new_doc)
 
@@ -208,3 +235,64 @@ def diff_bench(old: Mapping[str, Any] | str, new: Mapping[str, Any] | str,
                 cd.regressed.append(metric)
         out.cells.append(cd)
     return out
+
+
+def check_cells(rows: list[Mapping[str, Any]],
+                recorded: Mapping[str, Any] | str, *,
+                tolerance: float = DEFAULT_TOLERANCE,
+                source: str = "recorded snapshot") -> list[str]:
+    """Gate freshly measured cells against a recorded snapshot.
+
+    The regression rule behind ``bench_kernel.py --check``: for every
+    measured row, each :data:`GATED_METRICS` ratio must stay within
+    ``tolerance`` (fractional) of the recorded value.  Returns the
+    failure messages (empty list = gate passes):
+
+    * a measured cell absent from the snapshot fails with a **named
+      missing-cell** message — a silent skip here would let a renamed
+      mechanism sail through the gate ungated;
+    * a recorded cell lacking a gated column fails with a
+      **predates-the-column** message telling the operator to
+      regenerate the snapshot (old snapshots must not die on KeyError
+      or silently pass);
+    * a gated ratio below ``recorded * (1 - tolerance)`` fails with
+      the measured/floor/recorded values.
+
+    ``recorded`` may be a loaded document or a path/URL (resolved via
+    :func:`load_bench_source`); ``source`` names the snapshot in the
+    messages.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if isinstance(recorded, str):
+        source = recorded
+        recorded = load_bench_source(recorded)
+    recorded_cells = _cells_by_key(recorded)
+    failures: list[str] = []
+    for r in rows:
+        key = (r["mechanism"], float(r["gated_fraction"]))
+        base = recorded_cells.get(key)
+        if base is None:
+            failures.append(
+                f"{key}: no recorded cell in {source} — the measured grid "
+                f"is not covered by the snapshot; regenerate it with "
+                f"benchmarks/bench_kernel.py")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in r:
+                continue
+            if metric not in base:
+                # a stored snapshot from before the column existed must
+                # name the cell, not die on a KeyError
+                failures.append(
+                    f"{key}: recorded snapshot has no '{metric}' for this "
+                    f"cell — {source} predates the column; "
+                    f"regenerate it with benchmarks/bench_kernel.py")
+                continue
+            floor = base[metric] * (1.0 - tolerance)
+            if r[metric] < floor:
+                failures.append(
+                    f"{key}: {metric} ratio {r[metric]:.2f} "
+                    f"< {floor:.2f} (recorded {base[metric]:.2f} "
+                    f"- {tolerance:.0%})")
+    return failures

@@ -1,24 +1,35 @@
-"""Parallel experiment engine: fan ``run_synthetic`` tasks over processes.
+"""Parallel experiment engine: pluggable executors behind one cache.
 
 Reproducing any of the paper's figures means running dozens of
 independent simulations (mechanisms x gated fractions x rates).  Each
-one is a pure function of its parameters, so the engine
+one is a pure function of its parameters, so the engine splits the
+problem in two layers:
 
-* fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`
-  (worker count auto-detected, ``REPRO_JOBS`` overrides),
-* consults the content-addressed on-disk cache first
-  (:mod:`repro.harness.cache`) so warm reruns skip simulation entirely,
-* applies a per-task timeout and retries a failed/timed-out task once,
-  in-process, before giving up,
-* falls back to plain in-process serial execution when only one worker
-  is requested or the pool cannot be created (restricted environments,
-  missing ``fork``/semaphores, ...), and
-* reports progress through an optional callback.
+* **Executors** (:class:`SerialExecutor`, :class:`PoolExecutor`,
+  :class:`BatchedExecutor`) know *how* to compute a batch of resolved
+  :class:`SweepTask`\\ s — in-process one by one, fanned over a
+  ``concurrent.futures.ProcessPoolExecutor`` (worker count
+  auto-detected, ``REPRO_JOBS`` overrides, per-task timeout + one
+  in-process retry, serial fallback when the pool cannot be created),
+  or as lockstep replica batches through
+  :func:`repro.noc.batched.run_spec_batch`.  All three implement the
+  same small protocol (:class:`Executor`), so schedulers — the sweep
+  helpers, the benchmarks, and the experiment service
+  (:mod:`repro.service`) — pick a strategy without caring about
+  process pools, and a multi-host shard executor has a seam to slot
+  into later.
+* **Engines** (:class:`ParallelSweep` and its thin subclass
+  :class:`BatchedSweep`) wrap an executor with the shared policy:
+  consult the content-addressed on-disk cache first
+  (:mod:`repro.harness.cache`), hand only the misses to the executor,
+  persist fresh results, and report progress through an optional
+  callback.
 
 Determinism: every task carries an explicit seed (or derives one
 stably from its own identity via :func:`derive_task_seed`), so results
-are bit-identical across the serial path, the pool path, and cache
-replay — the determinism regression tests assert exactly this.
+are bit-identical across every executor and cache replay — the
+determinism and executor-equivalence regression tests assert exactly
+this.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..config import NoCConfig
 from ..gating.schedule import GatingSchedule
@@ -39,6 +50,10 @@ from .runner import ExperimentResult, default_cycles, run_spec
 
 #: signature: progress(done, total, task_or_item, result, from_cache)
 ProgressFn = Callable[[int, int, Any, Any, bool], None]
+
+#: signature: emit(index, result) — called exactly once per task, in
+#: task-index order, as results become available
+EmitFn = Callable[[int, Any], None]
 
 
 def default_jobs() -> int:
@@ -190,14 +205,234 @@ def _call(fn_and_item: tuple[Callable[[Any], Any], Any]) -> Any:
     return fn(item)
 
 
-class ParallelSweep:
-    """Executor that runs :class:`SweepTask` batches with cache + pool.
+def batch_group_key(task: SweepTask) -> tuple:
+    """Batch-compatibility key: replicas must share a topology, and
+    the config overrides are what determine it."""
+    return tuple(sorted((k, repr(v)) for k, v in task.overrides.items()))
+
+
+# -- executors ----------------------------------------------------------------
+
+@runtime_checkable
+class Executor(Protocol):
+    """Strategy for computing a batch of resolved :class:`SweepTask`\\ s.
+
+    Executors are pure compute: no cache, no progress policy — that is
+    the engine's job.  The contract:
+
+    * :meth:`execute` calls ``emit(i, result)`` exactly once per task,
+      in task-index order, as results become available (streaming lets
+      the engine persist/report each result immediately, and lets a
+      scheduler abort between tasks by raising from ``emit``).
+    * :meth:`map` is the generic fan-out for units of work that are not
+      sweep tasks (fault soaks, PARSEC benchmark cells).
+    * ``mode`` describes how the *last* call actually ran (``serial`` /
+      ``parallel`` / ``batched``) — a pool that fell back reports
+      ``serial``.
+    * :meth:`reset` clears any per-run bookkeeping; engines call it at
+      the top of every run.
+    """
+
+    mode: str
+
+    def reset(self) -> None: ...
+
+    def execute(self, tasks: Sequence[SweepTask], emit: EmitFn) -> None: ...
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]: ...
+
+
+class SerialExecutor:
+    """Run every task in-process, one at a time (no pool, no pickling)."""
+
+    def __init__(self) -> None:
+        self.mode = "serial"
+
+    def reset(self) -> None:
+        pass
+
+    def execute(self, tasks: Sequence[SweepTask], emit: EmitFn) -> None:
+        self.mode = "serial"
+        for i, task in enumerate(tasks):
+            emit(i, task.run())
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        self.mode = "serial"
+        return [fn(it) for it in items]
+
+
+class PoolExecutor:
+    """Fan tasks over a process pool, falling back to serial execution.
 
     Parameters
     ----------
     max_workers:
         Process count; ``None`` auto-detects (``REPRO_JOBS`` override).
-        ``1`` forces the in-process serial path (no pool, no pickling).
+        ``1`` forces the in-process serial path.
+    task_timeout:
+        Seconds a pooled task may run before it is abandoned and retried
+        serially (``REPRO_TASK_TIMEOUT`` sets the default).
+
+    Failure policy (unchanged from the original engine): a task that
+    fails or times out in a worker is retried once in-process before the
+    error propagates; a broken pool (OOM-killed worker, ...) finishes
+    every remaining task in-process; a pool that cannot be created at
+    all degrades to the serial path with a warning.
+    """
+
+    def __init__(self, max_workers: int | None = None, *,
+                 task_timeout: float | None = None) -> None:
+        self.max_workers = (default_jobs() if max_workers is None
+                            else max(1, int(max_workers)))
+        self.task_timeout = (default_task_timeout() if task_timeout is None
+                             else task_timeout)
+        self.mode = "serial"
+
+    def reset(self) -> None:
+        pass
+
+    def execute(self, tasks: Sequence[SweepTask], emit: EmitFn) -> None:
+        self._fan_out(_execute_task, tasks, emit)
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        results: list[Any] = [None] * len(items)
+
+        def emit(i: int, res: Any) -> None:
+            results[i] = res
+
+        self._fan_out(_call, [(fn, it) for it in items], emit)
+        return results
+
+    # -- internals -----------------------------------------------------------
+
+    def _fan_out(self, fn: Callable[[Any], Any], payloads: Sequence[Any],
+                 emit: EmitFn) -> None:
+        if min(self.max_workers, len(payloads)) > 1:
+            if self._run_pool(fn, payloads, emit):
+                self.mode = "parallel"
+                return
+        self.mode = "serial"
+        for i, payload in enumerate(payloads):
+            emit(i, fn(payload))
+
+    def _run_pool(self, fn: Callable[[Any], Any], payloads: Sequence[Any],
+                  emit: EmitFn) -> bool:
+        """Run ``fn`` over payloads in a process pool.
+
+        Returns False when the pool could not be created or submission
+        failed — both happen before any ``emit``, so the caller falls
+        back to the serial path cleanly.  Individual task
+        failures/timeouts are retried once in-process; a second failure
+        propagates.
+        """
+        workers = min(self.max_workers, len(payloads))
+        try:
+            executor = cf.ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, ImportError,
+                NotImplementedError) as exc:  # pragma: no cover - env-dep.
+            warnings.warn(f"process pool unavailable ({exc}); "
+                          f"running serially", RuntimeWarning, stacklevel=2)
+            return False
+        try:
+            try:
+                futures = [executor.submit(fn, p) for p in payloads]
+            except Exception as exc:  # unpicklable payload, broken pool, ...
+                warnings.warn(f"process pool submission failed ({exc}); "
+                              f"running serially", RuntimeWarning,
+                              stacklevel=2)
+                return False
+            broken = False
+            for i, fut in enumerate(futures):
+                if broken:
+                    emit(i, self._retry(fn, payloads[i], None))
+                    continue
+                try:
+                    res = fut.result(timeout=self.task_timeout)
+                except BrokenProcessPool as exc:
+                    # whole pool died (OOM-killed worker, ...): finish
+                    # everything still pending in-process.
+                    warnings.warn(f"process pool broke ({exc}); finishing "
+                                  f"remaining tasks serially",
+                                  RuntimeWarning, stacklevel=2)
+                    broken = True
+                    res = self._retry(fn, payloads[i], None)
+                except (cf.TimeoutError, Exception) as exc:
+                    fut.cancel()
+                    res = self._retry(fn, payloads[i], exc)
+                emit(i, res)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return True
+
+    @staticmethod
+    def _retry(fn: Callable[[Any], Any], payload: Any,
+               exc: BaseException | None) -> Any:
+        if exc is not None:
+            warnings.warn(f"task failed in worker ({exc!r}); retrying "
+                          f"in-process once", RuntimeWarning, stacklevel=3)
+        return fn(payload)  # second failure propagates to the caller
+
+
+class BatchedExecutor:
+    """Step compatible tasks as in-process lockstep replica batches.
+
+    Compatible tasks (same config overrides, hence same topology) are
+    grouped into chunks of ``batch_size`` and each chunk is executed as
+    one :func:`repro.noc.batched.run_spec_batch` invocation — one
+    kernel loop stepping all replicas in lockstep.  Results are
+    bit-identical to the solo paths (the kernel-equivalence and
+    executor-equivalence tests assert digest equality).  Execution is
+    in-process, so like the serial path there is no preemption.
+    """
+
+    def __init__(self, batch_size: int = 8) -> None:
+        self.batch_size = max(1, int(batch_size))
+        self.mode = "batched"
+        #: batches executed during the last execute()
+        self.last_batches = 0
+
+    def reset(self) -> None:
+        self.last_batches = 0
+
+    def execute(self, tasks: Sequence[SweepTask], emit: EmitFn) -> None:
+        from ..noc.batched import run_spec_batch
+
+        self.mode = "batched"
+        groups: dict[tuple, list[int]] = {}
+        for i, task in enumerate(tasks):
+            groups.setdefault(batch_group_key(task), []).append(i)
+        for idxs in groups.values():
+            for start in range(0, len(idxs), self.batch_size):
+                chunk = idxs[start:start + self.batch_size]
+                batch_results = run_spec_batch(
+                    [tasks[i].spec() for i in chunk],
+                    schedules=[tasks[i].schedule for i in chunk])
+                self.last_batches += 1
+                for i, res in zip(chunk, batch_results):
+                    emit(i, res)
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        # generic items cannot be replica-batched; run them serially
+        self.mode = "serial"
+        return [fn(it) for it in items]
+
+
+# -- engines ------------------------------------------------------------------
+
+class ParallelSweep:
+    """Engine that runs :class:`SweepTask` batches with cache + executor.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count for the default :class:`PoolExecutor`; ``None``
+        auto-detects (``REPRO_JOBS`` override).  ``1`` forces the
+        in-process serial path (no pool, no pickling).  Ignored when
+        ``executor`` is given.
     use_cache:
         Consult/populate the on-disk result cache.  ``REPRO_NO_CACHE=1``
         wins over ``True``.
@@ -210,20 +445,30 @@ class ParallelSweep:
         path cannot preempt a task, so no timeout applies there.
     progress:
         Optional callback ``(done, total, task, result, from_cache)``
-        invoked once per finished task.
+        invoked once per finished task.  Raising from the callback
+        aborts the run between tasks (the experiment service uses this
+        for job cancellation); results already computed stay cached.
+    executor:
+        An :class:`Executor` instance to schedule onto; default is a
+        :class:`PoolExecutor` built from ``max_workers``/``task_timeout``.
     """
 
     def __init__(self, max_workers: int | None = None, *,
                  use_cache: bool = True,
                  cache: ResultCache | None = None,
                  task_timeout: float | None = None,
-                 progress: ProgressFn | None = None) -> None:
+                 progress: ProgressFn | None = None,
+                 executor: Executor | None = None) -> None:
         self.max_workers = (default_jobs() if max_workers is None
                             else max(1, int(max_workers)))
         self.use_cache = use_cache
         self.cache = cache if cache is not None else ResultCache()
         self.task_timeout = (default_task_timeout() if task_timeout is None
                              else task_timeout)
+        self.executor: Executor = (
+            executor if executor is not None
+            else PoolExecutor(self.max_workers,
+                              task_timeout=self.task_timeout))
         self.progress = progress
         #: how the last run() executed its computed tasks
         self.last_mode: str = "none"
@@ -240,72 +485,16 @@ class ParallelSweep:
         if self.progress is not None:
             self.progress(done, total, task, result, from_cache)
 
-    def _run_pool(self, fn: Callable[[Any], Any],
-                  payloads: Sequence[Any]) -> list[Any] | None:
-        """Run ``fn`` over payloads in a process pool.
-
-        Returns the results, or ``None`` when the pool could not be
-        created at all (caller falls back to serial).  Individual task
-        failures/timeouts are retried once in-process; a second failure
-        propagates.
-        """
-        workers = min(self.max_workers, len(payloads))
-        try:
-            executor = cf.ProcessPoolExecutor(max_workers=workers)
-        except (OSError, ValueError, ImportError,
-                NotImplementedError) as exc:  # pragma: no cover - env-dep.
-            warnings.warn(f"process pool unavailable ({exc}); "
-                          f"running serially", RuntimeWarning, stacklevel=2)
-            return None
-        results: list[Any] = [None] * len(payloads)
-        try:
-            try:
-                futures = [executor.submit(fn, p) for p in payloads]
-            except Exception as exc:  # unpicklable payload, broken pool, ...
-                warnings.warn(f"process pool submission failed ({exc}); "
-                              f"running serially", RuntimeWarning,
-                              stacklevel=2)
-                executor.shutdown(wait=False, cancel_futures=True)
-                return None
-            broken = False
-            for i, fut in enumerate(futures):
-                if broken:
-                    results[i] = self._retry(fn, payloads[i], None)
-                    continue
-                try:
-                    results[i] = fut.result(timeout=self.task_timeout)
-                except BrokenProcessPool as exc:
-                    # whole pool died (OOM-killed worker, ...): finish
-                    # everything still pending in-process.
-                    warnings.warn(f"process pool broke ({exc}); finishing "
-                                  f"remaining tasks serially",
-                                  RuntimeWarning, stacklevel=2)
-                    broken = True
-                    results[i] = self._retry(fn, payloads[i], None)
-                except (cf.TimeoutError, Exception) as exc:
-                    fut.cancel()
-                    results[i] = self._retry(fn, payloads[i], exc)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        return results
-
-    @staticmethod
-    def _retry(fn: Callable[[Any], Any], payload: Any,
-               exc: BaseException | None) -> Any:
-        if exc is not None:
-            warnings.warn(f"task failed in worker ({exc!r}); retrying "
-                          f"in-process once", RuntimeWarning, stacklevel=3)
-        return fn(payload)  # second failure propagates to the caller
-
     # -- public API ----------------------------------------------------------
 
     def run(self, tasks: Sequence[SweepTask]) -> list[ExperimentResult]:
-        """Execute tasks (cache, then pool/serial); order is preserved."""
+        """Execute tasks (cache, then executor); order is preserved."""
         resolved = [t.resolved() for t in tasks]
         total = len(resolved)
         results: list[ExperimentResult | None] = [None] * total
         caching = self._caching()
         keys: list[dict[str, Any] | None] = [None] * total
+        self.executor.reset()
 
         pending: list[int] = []
         done = 0
@@ -323,23 +512,18 @@ class ParallelSweep:
 
         if pending:
             payloads = [resolved[i] for i in pending]
-            computed: list[ExperimentResult] | None = None
-            if min(self.max_workers, len(payloads)) > 1:
-                computed = self._run_pool(_execute_task, payloads)
-                self.last_mode = "parallel" if computed is not None \
-                    else "serial"
-            else:
-                self.last_mode = "serial"
-            if computed is None:
-                computed = []
-                for task in payloads:
-                    computed.append(task.run())
-            for i, res in zip(pending, computed):
+            state = {"done": done}
+
+            def emit(j: int, res: ExperimentResult) -> None:
+                i = pending[j]
                 results[i] = res
                 if caching and keys[i] is not None:
                     self.cache.put(keys[i], res)
-                done += 1
-                self._notify(done, total, resolved[i], res, False)
+                state["done"] += 1
+                self._notify(state["done"], total, resolved[i], res, False)
+
+            self.executor.execute(payloads, emit)
+            self.last_mode = self.executor.mode
         else:
             self.last_mode = "cached"
         return results  # type: ignore[return-value]
@@ -360,39 +544,30 @@ class ParallelSweep:
         total = len(items)
         if total == 0:
             return []
-        results: list[Any] | None = None
-        if min(self.max_workers, total) > 1:
-            results = self._run_pool(_call, [(fn, it) for it in items])
-            self.last_mode = "parallel" if results is not None else "serial"
-        else:
-            self.last_mode = "serial"
-        if results is None:
-            results = [fn(it) for it in items]
+        self.executor.reset()
+        results = self.executor.map(fn, items)
+        self.last_mode = self.executor.mode
         for i, res in enumerate(results):
             self._notify(i + 1, total, items[i], res, False)
         return results
 
 
 class BatchedSweep(ParallelSweep):
-    """Executor that steps compatible tasks as in-process replica batches.
+    """Thin :class:`ParallelSweep` over a :class:`BatchedExecutor`.
 
-    Instead of fanning tasks over a process pool, compatible tasks
-    (same config overrides, hence same topology) are grouped into
-    chunks of ``batch_size`` and each chunk is executed as one
-    :func:`repro.noc.batched.run_spec_batch` invocation — one kernel
-    loop stepping all replicas in lockstep.  The per-task contract is
-    unchanged:
+    The per-task contract is unchanged from :class:`ParallelSweep`:
 
     * **seed** — tasks are :meth:`SweepTask.resolved` first, so every
-      replica carries the same explicit/derived seed it would under
-      :class:`ParallelSweep`, and results are bit-identical to the solo
+      replica carries the same explicit/derived seed it would under the
+      pool/serial executors, and results are bit-identical to the solo
       paths (the kernel-equivalence tests assert digest equality).
     * **cache** — each replica keeps its own
       :meth:`~SweepTask.cache_key` (the kernel is excluded from cache
       keys); hits skip batching, misses are batched and stored
-      individually.
+      individually, so serial/pooled/batched runs hit each other's
+      entries.
     * **timeout** — execution is in-process, so like the serial path
-      there is no preemption; ``task_timeout`` is accepted but inert.
+      there is no preemption.
 
     Tasks carrying a live ``schedule`` object are batched with that
     schedule (and stay uncached, as under :class:`ParallelSweep`).
@@ -402,57 +577,14 @@ class BatchedSweep(ParallelSweep):
                  cache: ResultCache | None = None,
                  progress: ProgressFn | None = None) -> None:
         super().__init__(max_workers=1, use_cache=use_cache, cache=cache,
-                         progress=progress)
-        self.batch_size = max(1, int(batch_size))
-        #: batches executed during the last run()
-        self.last_batches = 0
+                         progress=progress,
+                         executor=BatchedExecutor(batch_size))
 
-    @staticmethod
-    def _group_key(task: SweepTask) -> tuple:
-        """Batch-compatibility key: replicas must share a topology, and
-        the config overrides are what determine it."""
-        return tuple(sorted((k, repr(v)) for k, v in task.overrides.items()))
+    @property
+    def batch_size(self) -> int:
+        return self.executor.batch_size  # type: ignore[attr-defined]
 
-    def run(self, tasks: Sequence[SweepTask]) -> list[ExperimentResult]:
-        """Execute tasks (cache, then lockstep batches); order preserved."""
-        from ..noc.batched import run_spec_batch
-
-        resolved = [t.resolved() for t in tasks]
-        total = len(resolved)
-        results: list[ExperimentResult | None] = [None] * total
-        caching = self._caching()
-        keys: list[dict[str, Any] | None] = [None] * total
-
-        pending: list[int] = []
-        done = 0
-        for i, task in enumerate(resolved):
-            key = task.cache_key() if caching else None
-            keys[i] = key
-            hit = self.cache.get(key) if key is not None else None
-            if hit is not None:
-                results[i] = hit
-                done += 1
-                self._notify(done, total, task, hit, True)
-            else:
-                pending.append(i)
-        self.last_cache_hits = total - len(pending)
-        self.last_batches = 0
-
-        groups: dict[tuple, list[int]] = {}
-        for i in pending:
-            groups.setdefault(self._group_key(resolved[i]), []).append(i)
-        for idxs in groups.values():
-            for start in range(0, len(idxs), self.batch_size):
-                chunk = idxs[start:start + self.batch_size]
-                batch_results = run_spec_batch(
-                    [resolved[i].spec() for i in chunk],
-                    schedules=[resolved[i].schedule for i in chunk])
-                self.last_batches += 1
-                for i, res in zip(chunk, batch_results):
-                    results[i] = res
-                    if caching and keys[i] is not None:
-                        self.cache.put(keys[i], res)
-                    done += 1
-                    self._notify(done, total, resolved[i], res, False)
-        self.last_mode = "batched" if pending else "cached"
-        return results  # type: ignore[return-value]
+    @property
+    def last_batches(self) -> int:
+        """Batches executed during the last run()."""
+        return self.executor.last_batches  # type: ignore[attr-defined]

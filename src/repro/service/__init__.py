@@ -1,0 +1,34 @@
+"""Experiment service: submit specs over HTTP, stream results back.
+
+See :mod:`repro.service.app` for the endpoint reference and
+``docs/service.md`` for the full API documentation.
+"""
+
+from .app import EXECUTOR_KINDS, ExperimentService
+from .client import ServiceClient, ServiceError
+from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
+                   SUCCESS_STATES, TERMINAL_STATES, Job, JobCancelled,
+                   JobStore)
+from .queue import JobQueue
+from .sse import decode_stream, encode_event
+
+__all__ = [
+    "ExperimentService",
+    "EXECUTOR_KINDS",
+    "ServiceClient",
+    "ServiceError",
+    "Job",
+    "JobStore",
+    "JobQueue",
+    "JobCancelled",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "CACHE_HIT",
+    "TERMINAL_STATES",
+    "SUCCESS_STATES",
+    "encode_event",
+    "decode_stream",
+]

@@ -1,0 +1,735 @@
+"""Asyncio experiment service: specs in over HTTP, results + SSE out.
+
+The long-running half of the harness: a stdlib-only HTTP/1.1 server
+(``asyncio.start_server`` + a small hand-rolled request parser — no new
+dependencies) that turns a sweep into one POST.  Submitted
+:class:`~repro.spec.JobEnvelope` bodies are validated up front (422 on
+any :class:`~repro.spec.SpecError`), deduplicated against both the
+shared ``.repro_cache/`` store *and* identical in-flight jobs, queued
+by priority, executed through the pluggable
+:class:`~repro.harness.parallel.Executor` interface, and observable
+three ways: polling (``GET /jobs/<id>``), SSE streaming
+(``GET /jobs/<id>/events``), and the service-wide ``/metrics``
+endpoint built on :class:`repro.obs.MetricsRegistry`.
+
+Endpoints
+---------
+
+==========  =======================  =========================================
+``POST``    ``/jobs``                submit a spec or job envelope (JSON
+                                     body; TOML with a ``...toml`` content
+                                     type); ``?priority=N`` overrides the
+                                     envelope priority
+``GET``     ``/jobs``                all job snapshots, submission order
+``GET``     ``/jobs/<id>``           one job snapshot (poll this)
+``GET``     ``/jobs/<id>/result``    result payload of a finished job
+``GET``     ``/jobs/<id>/events``    ordered, complete SSE stream; closes
+                                     after the terminal ``end`` event
+``DELETE``  ``/jobs/<id>``           cancel (also ``POST /jobs/<id>/cancel``)
+``GET``     ``/metrics``             plain-text ``name value`` exposition
+                                     (``?format=json`` for full detail)
+``GET``     ``/healthz``             liveness + queue depth
+``GET``     ``/bench``               the configured kernel benchmark
+                                     snapshot (path or URL source, loaded
+                                     through the shared bench loader)
+==========  =======================  =========================================
+
+Results are digest-identical to ``repro spec run`` on the same spec
+file — the job payload carries the same per-cell
+``result_to_dict`` encodings and the same ``stable_digest`` the CLI
+prints, which is exactly what the service end-to-end tests and the
+``service-smoke`` CI job assert.
+
+Cache-hit semantics (the multi-tenant story): a job whose cells are
+all already in the store finishes as ``cache_hit`` without touching
+the queue; a job identical to one currently queued/running is parked
+behind it (``dedup_of``) and served from the store when the primary
+lands — N racing clients cost one execution.  Both show up on
+``/metrics`` (``service.cells.cache_hits``,
+``service.dedupe.inflight_hits``, ``service.jobs.cache_hits``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from typing import Any, Callable
+from urllib.parse import parse_qsl, unquote
+
+from ..harness.benchdiff import load_bench_source
+from ..harness.cache import ResultCache, result_to_dict, stable_digest
+from ..harness.parallel import (BatchedExecutor, Executor, ParallelSweep,
+                                PoolExecutor, SerialExecutor, SweepTask)
+from ..obs.metrics import MetricsRegistry
+from ..spec import JobEnvelope, SpecError, SweepSpec
+from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
+                   SUCCESS_STATES, Job, JobCancelled, JobStore)
+from .queue import JobQueue
+from .sse import encode_event
+
+__all__ = ["ExperimentService", "EXECUTOR_KINDS"]
+
+#: named executor strategies ``--executor`` accepts
+EXECUTOR_KINDS = ("pool", "serial", "batched")
+
+#: job wall-clock histogram bucket upper edges, seconds
+WALL_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+_REASONS = {200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 422: "Unprocessable Entity",
+            500: "Internal Server Error", 502: "Bad Gateway"}
+
+
+class _HttpError(Exception):
+    """Routed straight into a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: dict[str, str],
+                 headers: dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+
+class ExperimentService:
+    """The asyncio experiment service (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (``self.port``
+        holds the real one after start).
+    workers:
+        Concurrent jobs; each runs in its own thread via
+        ``asyncio.to_thread`` so the event loop stays responsive.
+    executor:
+        Scheduling strategy per job: one of :data:`EXECUTOR_KINDS`, an
+        :class:`~repro.harness.parallel.Executor` *instance* (shared by
+        every job — handy for tests), or a zero-arg factory returning
+        one.
+    batch_size:
+        Replicas per batched-kernel invocation (``executor="batched"``).
+    pool_workers:
+        Process count per job for ``executor="pool"`` (default: auto).
+    cache, use_cache:
+        The shared :class:`ResultCache` (default honors
+        ``REPRO_CACHE_DIR``) and whether to consult it.
+    bench_source:
+        Path or URL of a ``BENCH_kernel.json`` snapshot served on
+        ``GET /bench`` (404 when unset).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: int = 2,
+                 executor: str | Executor | Callable[[], Executor] = "pool",
+                 batch_size: int = 8,
+                 pool_workers: int | None = None,
+                 cache: ResultCache | None = None,
+                 use_cache: bool = True,
+                 bench_source: str | None = None,
+                 max_body: int = 8 * 1024 * 1024) -> None:
+        if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
+            raise ValueError(f"unknown executor {executor!r}; expected one "
+                             f"of {EXECUTOR_KINDS} or an Executor")
+        self._host = host
+        self._port = port
+        self.port: int | None = None
+        self.worker_count = max(1, int(workers))
+        self._executor = executor
+        self._batch_size = batch_size
+        self._pool_workers = pool_workers
+        self._cache = cache if cache is not None else ResultCache()
+        self._use_cache = use_cache
+        self._bench_source = bench_source
+        self._max_body = max_body
+
+        self.store = JobStore()
+        self.queue = JobQueue()
+        self.metrics = MetricsRegistry()
+        self._running_jobs = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._start_error: BaseException | None = None
+
+        # pre-create every instrument so /metrics shows explicit zeros
+        for name in ("service.jobs.submitted", "service.jobs.completed",
+                     "service.jobs.failed", "service.jobs.cancelled",
+                     "service.jobs.cache_hits", "service.cells.executed",
+                     "service.cells.cache_hits",
+                     "service.dedupe.inflight_hits"):
+            self.metrics.counter(name)
+        self.metrics.gauge("service.jobs.running")
+        self.metrics.gauge("service.queue.depth")
+        self.metrics.histogram("service.job.wall_seconds", WALL_BUCKETS)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start_async(self) -> int:
+        """Bind, start the worker loops, return the actual port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self._host, self._port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [asyncio.create_task(self._worker())
+                              for _ in range(self.worker_count)]
+        return self.port
+
+    async def _shutdown(self) -> None:
+        for job in self.store.jobs():
+            if job.status == RUNNING:
+                job.cancel_requested.set()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def run_async(self, *, announce: Callable[[str], None]
+                        | None = None) -> None:
+        """Start and serve until cancelled (the ``repro serve`` path)."""
+        self._stop_event = asyncio.Event()
+        await self.start_async()
+        if announce is not None:
+            announce(f"http://{self._host}:{self.port}")
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self._shutdown()
+
+    # threaded wrappers (tests and embedding) ---------------------------------
+
+    def start(self) -> int:
+        """Run the service on a daemon thread; returns the bound port."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._thread_main, args=(started,),
+            name="repro-service", daemon=True)
+        self._thread.start()
+        if not started.wait(15.0):  # pragma: no cover - hang safety
+            raise RuntimeError("service failed to start within 15s")
+        if self._start_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._start_error
+        assert self.port is not None
+        return self.port
+
+    def _thread_main(self, started: threading.Event) -> None:
+        async def main() -> None:
+            self._stop_event = asyncio.Event()
+            try:
+                await self.start_async()
+            except BaseException as exc:
+                self._start_error = exc
+                started.set()
+                return
+            started.set()
+            try:
+                await self._stop_event.wait()
+            finally:
+                await self._shutdown()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        """Stop a :meth:`start`-ed service and join its thread."""
+        if self._thread is None:
+            return
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and loop.is_running():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(stop_event.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    # -- executors ------------------------------------------------------------
+
+    def _make_executor(self) -> Executor:
+        ex = self._executor
+        if isinstance(ex, str):
+            if ex == "serial":
+                return SerialExecutor()
+            if ex == "batched":
+                return BatchedExecutor(self._batch_size)
+            return PoolExecutor(self._pool_workers)
+        if isinstance(ex, Executor):
+            return ex
+        return ex()  # zero-arg factory
+
+    # -- event publication ----------------------------------------------------
+
+    def _publish(self, job: Job, event: str, data: dict[str, Any]) -> None:
+        """Append to the job's event history and fan out (loop thread)."""
+        entry = {"id": len(job.events), "event": event,
+                 "data": dict(data, job=job.id)}
+        job.events.append(entry)
+        for q in list(job.subscribers):
+            q.put_nowait(entry)
+
+    def _publish_threadsafe(self, job: Job, event: str,
+                            data: dict[str, Any]) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        with contextlib.suppress(RuntimeError):  # loop closing
+            loop.call_soon_threadsafe(self._publish, job, event, data)
+
+    def _gauges(self) -> None:
+        self.metrics.gauge("service.queue.depth").set(float(len(self.queue)))
+        self.metrics.gauge("service.jobs.running").set(
+            float(self._running_jobs))
+
+    # -- job execution --------------------------------------------------------
+
+    @staticmethod
+    def _result_payload(envelope: JobEnvelope, results: list) -> dict:
+        """Result body, digest-compatible with ``repro spec run``.
+
+        Single cells digest ``result_to_dict(r)``; sweeps digest the
+        ``{mechanism: [cells...]}`` series mapping — byte-identical to
+        what the CLI prints, so HTTP and local runs compare directly.
+        """
+        spec = envelope.spec
+        cells = [result_to_dict(r) for r in results]
+        if isinstance(spec, SweepSpec):
+            per_mech = len(cells) // len(spec.mechanisms)
+            series = {m: cells[i * per_mech:(i + 1) * per_mech]
+                      for i, m in enumerate(spec.mechanisms)}
+            digest = stable_digest(series)
+            kind = "sweep"
+        else:
+            digest = stable_digest(cells[0])
+            kind = "experiment"
+        return {"digest": digest, "kind": kind, "cells": cells}
+
+    def _run_job(self, job: Job) -> tuple[dict, int, int]:
+        """Execute ``job`` in the current (worker) thread.
+
+        Returns ``(payload, executed_cells, cache_hit_cells)``.  The
+        progress callback raises :class:`JobCancelled` between cells
+        when cancellation was requested — cells already computed stay
+        in the store (atomic writes), so a cancelled job never leaves
+        a torn cache behind.
+        """
+        tasks = [SweepTask.from_spec(c) for c in job.envelope.cells()]
+
+        def progress(done: int, total: int, task, result,
+                     from_cache: bool) -> None:
+            if job.cancel_requested.is_set():
+                raise JobCancelled(job.id)
+            job.done_cells = done
+            if from_cache:
+                job.cache_hit_cells += 1
+            self._publish_threadsafe(job, "progress", {
+                "done": done, "total": total,
+                "from_cache": bool(from_cache),
+                "cell": {"mechanism": task.mechanism, "rate": task.rate,
+                         "gated_fraction": task.gated_fraction,
+                         "seed": task.seed}})
+
+        engine = ParallelSweep(use_cache=self._use_cache, cache=self._cache,
+                               progress=progress,
+                               executor=self._make_executor())
+        results = engine.run(tasks)
+        payload = self._result_payload(job.envelope, results)
+        executed = len(tasks) - engine.last_cache_hits
+        return payload, executed, engine.last_cache_hits
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self.queue.get()
+            self._gauges()
+            job = self.store.get(job_id)
+            if job is None or job.status != QUEUED:
+                continue
+            if job.cancel_requested.is_set():
+                self._finish_job(job, CANCELLED)
+                continue
+            job.status = RUNNING
+            job.started = time.time()
+            job.started_seq = self.store.next_run_seq()
+            self._running_jobs += 1
+            self._gauges()
+            self._publish(job, "status", {"status": RUNNING})
+            try:
+                payload, executed, hits = await asyncio.to_thread(
+                    self._run_job, job)
+            except JobCancelled:
+                self.metrics.counter("service.jobs.cancelled").inc()
+                self._finish_job(job, CANCELLED)
+            except asyncio.CancelledError:
+                job.cancel_requested.set()
+                self._finish_job(job, CANCELLED)
+                raise
+            except Exception as exc:
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.metrics.counter("service.jobs.failed").inc()
+                self._finish_job(job, FAILED)
+            else:
+                job.result = payload
+                self.metrics.counter("service.cells.executed").inc(executed)
+                self.metrics.counter("service.cells.cache_hits").inc(hits)
+                self.metrics.counter("service.jobs.completed").inc()
+                self.metrics.histogram(
+                    "service.job.wall_seconds", WALL_BUCKETS).observe(
+                        time.time() - job.started)
+                if executed == 0:
+                    self.metrics.counter("service.jobs.cache_hits").inc()
+                self._finish_job(job, DONE if executed else CACHE_HIT)
+            finally:
+                self._running_jobs -= 1
+                self._gauges()
+
+    def _finish_job(self, job: Job, status: str) -> None:
+        """Terminal transition: bookkeeping, SSE end event, followers."""
+        job.status = status
+        job.finished = time.time()
+        key = job.envelope.dedupe_key()
+        if self.store.inflight.get(key) == job.id:
+            del self.store.inflight[key]
+        data: dict[str, Any] = {"status": status,
+                                "done": job.done_cells,
+                                "total": job.total_cells}
+        if job.result is not None:
+            data["digest"] = job.result["digest"]
+        if job.error is not None:
+            data["error"] = job.error
+        self._publish(job, "end", data)
+
+        followers = [self.store.get(fid) for fid in job.followers]
+        job.followers = []
+        live = [f for f in followers
+                if f is not None and f.status == QUEUED
+                and not f.cancel_requested.is_set()]
+        if not live:
+            self._gauges()
+            return
+        if status in SUCCESS_STATES:
+            # every cell of the primary is now in the store; serve the
+            # followers from it (each counts as a full cache hit)
+            for f in live:
+                if not self._try_serve_from_cache(f):
+                    self._enqueue_primary(f)  # store bypassed/disabled
+        else:
+            # primary failed or was cancelled: promote the first live
+            # follower to primary, keep the rest parked behind it
+            new_primary, rest = live[0], live[1:]
+            new_primary.dedup_of = None
+            self._enqueue_primary(new_primary)
+            for f in rest:
+                f.dedup_of = new_primary.id
+                new_primary.followers.append(f.id)
+        self._gauges()
+
+    # -- dedupe + cache probing -----------------------------------------------
+
+    def _probe_cache(self, job: Job) -> list | None:
+        """All cached results for the job's cells, or None on any miss."""
+        if not self._use_cache:
+            return None
+        results = []
+        for cell in job.envelope.cells():
+            hit = self._cache.get(cell.cache_key())
+            if hit is None:
+                return None
+            results.append(hit)
+        return results
+
+    def _try_serve_from_cache(self, job: Job) -> bool:
+        """Finish ``job`` as a cache hit when every cell is stored."""
+        results = self._probe_cache(job)
+        if results is None:
+            return False
+        job.result = self._result_payload(job.envelope, results)
+        job.done_cells = job.total_cells
+        job.cache_hit_cells = job.total_cells
+        self.metrics.counter("service.jobs.cache_hits").inc()
+        self.metrics.counter("service.cells.cache_hits").inc(
+            job.total_cells)
+        self._finish_job(job, CACHE_HIT)
+        return True
+
+    def _enqueue_primary(self, job: Job) -> None:
+        self.store.inflight[job.envelope.dedupe_key()] = job.id
+        self.queue.put(job.id, job.priority)
+        self._gauges()
+
+    # -- request handlers -----------------------------------------------------
+
+    def _submit(self, req: _Request) -> tuple[int, dict]:
+        ctype = req.headers.get("content-type", "")
+        try:
+            text = req.body.decode()
+        except UnicodeDecodeError as exc:
+            raise _HttpError(400, f"body is not valid UTF-8: {exc}") \
+                from None
+        try:
+            envelope = JobEnvelope.from_payload(text, toml="toml" in ctype)
+            if "priority" in req.query:
+                try:
+                    priority = int(req.query["priority"])
+                except ValueError:
+                    raise SpecError(
+                        f"priority query parameter must be an integer, "
+                        f"got {req.query['priority']!r}") from None
+                envelope = JobEnvelope(spec=envelope.spec,
+                                       priority=priority,
+                                       tags=envelope.tags)
+        except SpecError as exc:
+            raise _HttpError(422, str(exc)) from None
+        job = self.store.new_job(envelope)
+        self.metrics.counter("service.jobs.submitted").inc()
+        self._publish(job, "status", {"status": QUEUED,
+                                      "total": job.total_cells})
+        if self._try_serve_from_cache(job):
+            return 201, job.snapshot()
+        key = envelope.dedupe_key()
+        primary = self.store.get(self.store.inflight.get(key, ""))
+        if primary is not None and primary.status in (QUEUED, RUNNING):
+            job.dedup_of = primary.id
+            primary.followers.append(job.id)
+            self.metrics.counter("service.dedupe.inflight_hits").inc()
+        else:
+            self._enqueue_primary(job)
+        return 201, job.snapshot()
+
+    def _cancel(self, job: Job) -> tuple[int, dict]:
+        if job.terminal:
+            return 409, {"error": f"job {job.id} is already {job.status}"}
+        if job.status == QUEUED:
+            job.cancel_requested.set()
+            self.queue.cancel(job.id)
+            if job.dedup_of is not None:
+                primary = self.store.get(job.dedup_of)
+                if primary is not None and job.id in primary.followers:
+                    primary.followers.remove(job.id)
+            self.metrics.counter("service.jobs.cancelled").inc()
+            self._finish_job(job, CANCELLED)
+            return 200, job.snapshot()
+        # running: flag it; the worker observes between cells
+        job.cancel_requested.set()
+        return 202, dict(job.snapshot(), cancelling=True)
+
+    def _job_result(self, job: Job) -> tuple[int, dict]:
+        if job.status in SUCCESS_STATES:
+            assert job.result is not None
+            return 200, dict(job.result, id=job.id, status=job.status)
+        if job.terminal:
+            return 409, {"error": f"job {job.id} finished as "
+                                  f"{job.status}", "detail": job.error}
+        return 409, {"error": f"job {job.id} is still {job.status}"}
+
+    def _metrics_body(self, as_json: bool) -> tuple[bytes, str]:
+        self._gauges()
+        if as_json:
+            return (json.dumps(self.metrics.as_dict(), indent=2).encode(),
+                    "application/json")
+        lines = [f"{name} {value}"
+                 for name, value in
+                 sorted(self.metrics.scalar_snapshot().items())]
+        return ("\n".join(lines) + "\n").encode(), "text/plain"
+
+    def _bench(self) -> tuple[int, dict]:
+        if not self._bench_source:
+            return 404, {"error": "no bench snapshot configured (start the "
+                                  "service with --bench-snapshot)"}
+        try:
+            doc = load_bench_source(self._bench_source)
+        except Exception as exc:
+            return 502, {"error": f"cannot load bench snapshot from "
+                                  f"{self._bench_source!r}: {exc}"}
+        return 200, {"source": self._bench_source, "snapshot": doc}
+
+    # -- HTTP plumbing --------------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader) \
+            -> _Request | None:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise _HttpError(400, f"oversized request line: {exc}") from None
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode().split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = hline.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        path, _, qs = target.partition("?")
+        query = {k: v for k, v in parse_qsl(qs)}
+        length = int(headers.get("content-length", "0") or 0)
+        if length > self._max_body:
+            raise _HttpError(413, f"body of {length} bytes exceeds the "
+                                  f"{self._max_body} byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method.upper(), unquote(path), query, headers, body)
+
+    @staticmethod
+    def _response(status: int, body: bytes, content_type: str) -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        return head.encode() + body
+
+    @classmethod
+    def _json_response(cls, status: int, obj: Any) -> bytes:
+        body = (json.dumps(obj, indent=2) + "\n").encode()
+        return cls._response(status, body, "application/json")
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                req = await self._read_request(reader)
+                if req is None:
+                    return
+                await self._dispatch(req, writer)
+            except _HttpError as exc:
+                writer.write(self._json_response(exc.status,
+                                                 {"error": exc.message}))
+                await writer.drain()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass  # client went away mid-request
+            except Exception as exc:  # never let one connection kill us
+                with contextlib.suppress(Exception):
+                    writer.write(self._json_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}))
+                    await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, req: _Request,
+                        writer: asyncio.StreamWriter) -> None:
+        segs = [s for s in req.path.split("/") if s]
+
+        async def send_json(status: int, obj: Any) -> None:
+            writer.write(self._json_response(status, obj))
+            await writer.drain()
+
+        if not segs:
+            await send_json(200, {
+                "service": "repro-experiment-service",
+                "endpoints": ["/jobs", "/jobs/<id>", "/jobs/<id>/result",
+                              "/jobs/<id>/events", "/metrics", "/healthz",
+                              "/bench"]})
+            return
+        if segs == ["healthz"]:
+            if req.method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            await send_json(200, {"status": "ok", "jobs": len(self.store),
+                                  "queued": len(self.queue),
+                                  "running": self._running_jobs})
+            return
+        if segs == ["metrics"]:
+            if req.method != "GET":
+                raise _HttpError(405, "metrics is GET-only")
+            body, ctype = self._metrics_body(
+                req.query.get("format") == "json")
+            writer.write(self._response(200, body, ctype))
+            await writer.drain()
+            return
+        if segs == ["bench"]:
+            if req.method != "GET":
+                raise _HttpError(405, "bench is GET-only")
+            status, obj = self._bench()
+            await send_json(status, obj)
+            return
+        if segs[0] != "jobs":
+            raise _HttpError(404, f"no such endpoint: {req.path}")
+
+        if len(segs) == 1:
+            if req.method == "POST":
+                status, obj = self._submit(req)
+                await send_json(status, obj)
+            elif req.method == "GET":
+                await send_json(200, {"jobs": [j.snapshot()
+                                               for j in self.store.jobs()]})
+            else:
+                raise _HttpError(405, f"{req.method} not allowed on /jobs")
+            return
+
+        job = self.store.get(segs[1])
+        if job is None:
+            raise _HttpError(404, f"no such job: {segs[1]}")
+        if len(segs) == 2:
+            if req.method == "GET":
+                await send_json(200, job.snapshot())
+            elif req.method == "DELETE":
+                status, obj = self._cancel(job)
+                await send_json(status, obj)
+            else:
+                raise _HttpError(405,
+                                 f"{req.method} not allowed on /jobs/<id>")
+            return
+        if len(segs) == 3 and segs[2] == "cancel" and req.method == "POST":
+            status, obj = self._cancel(job)
+            await send_json(status, obj)
+            return
+        if len(segs) == 3 and segs[2] == "result" and req.method == "GET":
+            status, obj = self._job_result(job)
+            await send_json(status, obj)
+            return
+        if len(segs) == 3 and segs[2] == "events" and req.method == "GET":
+            await self._stream_events(job, writer)
+            return
+        raise _HttpError(404, f"no such endpoint: {req.path}")
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        """Replay the job's full event history, then go live until the
+        terminal ``end`` event — ordered and complete by construction."""
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode())
+        q: asyncio.Queue = asyncio.Queue()
+        job.subscribers.append(q)
+        backlog = list(job.events)  # no await since subscribe: atomic
+        try:
+            ended = False
+            for entry in backlog:
+                writer.write(encode_event(entry["id"], entry["event"],
+                                          entry["data"]))
+                ended = ended or entry["event"] == "end"
+            await writer.drain()
+            while not ended:
+                entry = await q.get()
+                writer.write(encode_event(entry["id"], entry["event"],
+                                          entry["data"]))
+                await writer.drain()
+                ended = entry["event"] == "end"
+        finally:
+            if q in job.subscribers:
+                job.subscribers.remove(q)

@@ -1,0 +1,62 @@
+"""Server-Sent Events encoding and parsing.
+
+One representation on both sides of the wire: an event is a dict
+``{"id": int, "event": str, "data": <JSON value>}``.  The server
+serializes with :func:`encode_event`; the client feeds response lines
+through :func:`decode_stream` and gets the dicts back.  The subset of
+the SSE spec implemented is exactly what the service emits — ``id:``,
+``event:`` and single-line ``data:`` fields, blank-line terminated —
+which keeps both directions trivially auditable in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+__all__ = ["encode_event", "decode_stream"]
+
+
+def encode_event(event_id: int, event: str, data: Any) -> bytes:
+    """One wire-format SSE event (``data`` is JSON-encoded)."""
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return (f"id: {event_id}\nevent: {event}\ndata: {payload}\n\n"
+            .encode())
+
+
+def decode_stream(lines: Iterable[bytes | str]) -> Iterator[dict[str, Any]]:
+    """Parse a stream of SSE lines back into event dicts.
+
+    Accepts bytes or str lines (trailing newlines optional); yields
+    ``{"id": int | None, "event": str, "data": parsed-json}`` per
+    blank-line-terminated event.  Unknown fields and comment lines
+    (``:`` prefix) are ignored, per the SSE spec.
+    """
+    event_id: int | None = None
+    event = "message"
+    data_parts: list[str] = []
+    for raw in lines:
+        line = raw.decode() if isinstance(raw, bytes) else raw
+        line = line.rstrip("\r\n")
+        if not line:
+            if data_parts:
+                yield {"id": event_id, "event": event,
+                       "data": json.loads("\n".join(data_parts))}
+            event_id, event, data_parts = None, "message", []
+            continue
+        if line.startswith(":"):
+            continue
+        name, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if name == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None
+        elif name == "event":
+            event = value
+        elif name == "data":
+            data_parts.append(value)
+    if data_parts:  # stream ended without the final blank line
+        yield {"id": event_id, "event": event,
+               "data": json.loads("\n".join(data_parts))}

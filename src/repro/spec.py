@@ -45,7 +45,8 @@ from typing import Any, Mapping
 from . import registry
 from .config import NoCConfig
 
-__all__ = ["ExperimentSpec", "SweepSpec", "SpecError", "load_spec_file"]
+__all__ = ["ExperimentSpec", "SweepSpec", "SpecError", "JobEnvelope",
+           "load_spec_file", "parse_spec_payload"]
 
 #: keys accepted in the ``workload_args`` mapping (full-system runs)
 WORKLOAD_ARG_KEYS = ("instructions", "max_cycles", "warmup")
@@ -461,3 +462,129 @@ def _from_file(cls: type, path: str) -> Any:
 
 ExperimentSpec.from_file = classmethod(_from_file)  # type: ignore[attr-defined]
 SweepSpec.from_file = classmethod(_from_file)  # type: ignore[attr-defined]
+
+
+# -- job envelopes (experiment service) ---------------------------------------
+
+def _spec_from_mapping(data: Mapping[str, Any]) -> "ExperimentSpec | SweepSpec":
+    """Mapping -> spec, using the ``mechanisms``-plural dispatch rule."""
+    _require(isinstance(data, Mapping),
+             f"spec must be a mapping, got {type(data).__name__}")
+    if "mechanisms" in data:
+        return SweepSpec.from_dict(data)
+    return ExperimentSpec.from_dict(data)
+
+
+def parse_spec_payload(text: str, *,
+                       toml: bool = False) -> "ExperimentSpec | SweepSpec":
+    """Parse raw JSON/TOML *text* (an HTTP body, a file's contents) into
+    a validated spec — same dispatch rule as :func:`load_spec_file`."""
+    data = _parse_spec_text(text, toml=toml)
+    return _spec_from_mapping(data)
+
+
+@dataclass(frozen=True)
+class JobEnvelope:
+    """A validated experiment-service submission: spec + job metadata.
+
+    The envelope is what ``POST /jobs`` accepts — either a bare spec
+    mapping (single experiment or sweep, same dispatch rule as spec
+    files) or a mapping with a ``spec`` field plus job-level metadata::
+
+        {"spec": {"mechanism": "gflov", ...}, "priority": 5,
+         "tags": {"team": "noc"}}
+
+    Validation is strict and happens before anything is queued:
+    unknown fields, out-of-range priorities, and non-string tags all
+    raise :class:`SpecError` (the service maps that to HTTP 422).
+    Full-system ``workload`` specs are rejected — their results are not
+    representable in the shared ``.repro_cache`` store, so the service
+    cannot dedupe or replay them.
+    """
+
+    spec: "ExperimentSpec | SweepSpec"
+    priority: int = 0
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    #: accepted priority range (higher runs first)
+    MIN_PRIORITY = -100
+    MAX_PRIORITY = 100
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.spec, (ExperimentSpec, SweepSpec)),
+                 f"spec must be an ExperimentSpec or SweepSpec, "
+                 f"got {type(self.spec).__name__}")
+        if getattr(self.spec, "workload", None) is not None:
+            raise SpecError(
+                "full-system workload specs cannot be submitted to the "
+                "experiment service (their results are not cacheable); "
+                "run them with 'repro spec run' instead")
+        _require(isinstance(self.priority, int)
+                 and not isinstance(self.priority, bool),
+                 f"priority must be an integer, got {self.priority!r}")
+        _require(self.MIN_PRIORITY <= self.priority <= self.MAX_PRIORITY,
+                 f"priority must be in [{self.MIN_PRIORITY}, "
+                 f"{self.MAX_PRIORITY}], got {self.priority}")
+        _require(isinstance(self.tags, Mapping),
+                 f"tags must be a mapping, got {type(self.tags).__name__}")
+        for k, v in self.tags.items():
+            _require(isinstance(k, str) and isinstance(v, str),
+                     f"tags must map strings to strings, got {k!r}: {v!r}")
+        object.__setattr__(self, "tags", dict(self.tags))
+
+    # -- derived --------------------------------------------------------------
+
+    def cells(self) -> tuple[ExperimentSpec, ...]:
+        """The experiment cells this job executes, in engine order."""
+        if isinstance(self.spec, SweepSpec):
+            return self.spec.expand()
+        return (self.spec,)
+
+    def dedupe_key(self) -> str:
+        """Digest identifying the *work* this job requests.
+
+        Built from the per-cell :meth:`ExperimentSpec.cache_key`
+        digests (kernel excluded, cycle defaults resolved), so two
+        submissions that would compute identical results — even via
+        different kernels or differently-ordered spec files — dedupe
+        against each other.
+        """
+        digests = []
+        for cell in self.cells():
+            blob = json.dumps(cell.cache_key(), sort_keys=True,
+                              separators=(",", ":"))
+            digests.append(hashlib.sha256(blob.encode()).hexdigest())
+        joined = json.dumps(digests, separators=(",", ":"))
+        return hashlib.sha256(joined.encode()).hexdigest()
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "priority": self.priority,
+                "tags": dict(self.tags)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobEnvelope":
+        """Build from a mapping: either a bare spec or an envelope.
+
+        A mapping carrying a ``spec`` key is an envelope (unknown
+        sibling keys are errors); anything else is treated as a bare
+        spec with default metadata.
+        """
+        _require(isinstance(data, Mapping),
+                 f"job must be a mapping, got {type(data).__name__}")
+        if "spec" not in data:
+            return cls(spec=_spec_from_mapping(data))
+        known = {"spec", "priority", "tags"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown job field(s) {unknown}; expected a "
+                            f"subset of {sorted(known)}")
+        return cls(spec=_spec_from_mapping(data["spec"]),
+                   priority=data.get("priority", 0),
+                   tags=data.get("tags", {}))
+
+    @classmethod
+    def from_payload(cls, text: str, *, toml: bool = False) -> "JobEnvelope":
+        """Parse a raw JSON/TOML submission body into an envelope."""
+        return cls.from_dict(_parse_spec_text(text, toml=toml))

@@ -1,0 +1,358 @@
+"""End-to-end tests of the experiment service (HTTP + SSE).
+
+Each test boots a real :class:`ExperimentService` on an ephemeral port
+with an isolated result cache and talks to it through the stdlib
+:class:`ServiceClient` — the same wire path ``repro submit`` and the CI
+smoke job use.  The anchor properties:
+
+* an HTTP-submitted spec produces a result digest identical to a local
+  ``run_spec`` / ``run_sweep_spec`` of the same file;
+* re-submitting is a ``cache_hit`` that recomputes nothing and shows up
+  on ``/metrics``;
+* SSE streams are ordered, complete (ids 0..n with no gaps), and
+  terminate after the ``end`` event;
+* malformed specs are rejected with 422 and the :class:`SpecError`
+  message;
+* cancelling queued and running jobs leaves the store consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.harness import run_spec, run_sweep_spec
+from repro.harness.cache import ResultCache, result_to_dict, stable_digest
+from repro.harness.parallel import SerialExecutor
+from repro.service import (CACHE_HIT, CANCELLED, DONE, ExperimentService,
+                           ServiceClient, ServiceError)
+from repro.spec import ExperimentSpec, SweepSpec
+
+pytestmark = pytest.mark.service
+
+#: a sub-second experiment cell (4x4 mesh, 250 cycles)
+FAST = {"mechanism": "baseline", "pattern": "uniform", "rate": 0.05,
+        "warmup": 50, "measure": 200, "seed": 7,
+        "overrides": {"width": 4, "height": 4}}
+
+FAST_SWEEP = {"mechanisms": ["baseline", "gflov"], "pattern": "uniform",
+              "rates": [0.05], "gated_fractions": [0.0, 0.5],
+              "warmup": 50, "measure": 200, "seed": 3,
+              "overrides": {"width": 4, "height": 4}}
+
+
+def cell(**kw) -> dict:
+    return dict(FAST, **kw)
+
+
+class SlowSerial(SerialExecutor):
+    """Serial executor with a per-cell delay and an optional start gate."""
+
+    def __init__(self, delay: float = 0.0,
+                 gate: threading.Event | None = None) -> None:
+        super().__init__()
+        self.delay = delay
+        self.gate = gate
+
+    def execute(self, tasks, emit) -> None:
+        self.mode = "serial"
+        for i, task in enumerate(tasks):
+            if self.gate is not None and not self.gate.wait(30.0):
+                raise TimeoutError("test gate never released")
+            if self.delay:
+                time.sleep(self.delay)
+            emit(i, task.run())
+
+
+@pytest.fixture
+def service(tmp_path):
+    """Factory fixture: boot services with isolated caches, stop them."""
+    started = []
+
+    def boot(**kw) -> tuple[ExperimentService, ServiceClient]:
+        kw.setdefault("executor", "serial")
+        kw.setdefault("workers", 2)
+        kw.setdefault("cache", ResultCache(tmp_path / "cache"))
+        svc = ExperimentService(**kw)
+        port = svc.start()
+        started.append(svc)
+        return svc, ServiceClient(port=port)
+
+    yield boot
+    for svc in started:
+        svc.stop()
+
+
+def test_submit_poll_digest_matches_run_spec(service):
+    _, client = service()
+    snap = client.submit(FAST)
+    assert snap["status"] in ("queued", "running", "done")
+    final = client.wait(snap["id"])
+    assert final["status"] == DONE
+    assert final["done_cells"] == final["total_cells"] == 1
+    result = client.result(snap["id"])
+    local = run_spec(ExperimentSpec(**FAST).resolved())
+    assert result["digest"] == stable_digest(result_to_dict(local))
+    assert result["kind"] == "experiment"
+    assert final["digest"] == result["digest"]
+
+
+def test_sweep_digest_matches_local_run(service):
+    _, client = service()
+    snap = client.wait(client.submit(FAST_SWEEP)["id"])
+    assert snap["status"] == DONE
+    result = client.result(snap["id"])
+    assert result["kind"] == "sweep"
+
+    series = run_sweep_spec(SweepSpec(**FAST_SWEEP))
+    local = stable_digest(
+        {m: [result_to_dict(r) for r in rs] for m, rs in series.items()})
+    assert result["digest"] == local
+
+
+def test_resubmit_is_cache_hit_with_zero_recompute(service):
+    _, client = service()
+    first = client.wait(client.submit(FAST)["id"])
+    assert first["status"] == DONE
+    assert client.metric("service.cells.executed") == 1
+
+    again = client.submit(FAST)
+    # all cells were in the store: terminal at submission time
+    assert again["status"] == CACHE_HIT
+    assert again["cache_hit_cells"] == again["total_cells"] == 1
+    assert client.result(again["id"])["digest"] == first["digest"]
+    # nothing recomputed, and the hit is a first-class metric
+    assert client.metric("service.cells.executed") == 1
+    assert client.metric("service.cells.cache_hits") == 1
+    assert client.metric("service.jobs.cache_hits") == 1
+
+
+def test_sse_stream_is_ordered_complete_and_terminates(service):
+    svc, client = service(executor=lambda: SlowSerial(delay=0.05),
+                          workers=1)
+    snap = client.submit(FAST_SWEEP)
+
+    events: list[dict] = []
+
+    def collect() -> None:
+        events.extend(client.events(snap["id"]))
+
+    t = threading.Thread(target=collect)
+    t.start()
+    client.wait(snap["id"])
+    t.join(timeout=30.0)
+    assert not t.is_alive(), "SSE stream did not terminate after the job"
+
+    # complete and ordered: ids are exactly 0..n-1
+    assert [e["id"] for e in events] == list(range(len(events)))
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "status" and events[0]["data"]["status"] == "queued"
+    assert "status" in kinds[1:]  # the running transition
+    progress = [e["data"] for e in events if e["event"] == "progress"]
+    assert [p["done"] for p in progress] == list(range(1, 5))
+    assert all(p["total"] == 4 for p in progress)
+    assert kinds[-1] == "end"
+    assert events[-1]["data"]["status"] == DONE
+    assert events[-1]["data"]["digest"]
+
+    # a late subscriber replays the identical history
+    replay = list(client.events(snap["id"]))
+    assert replay == events
+
+
+def test_malformed_spec_is_422_with_spec_error_message(service):
+    _, client = service()
+    with pytest.raises(ServiceError) as exc:
+        client.submit(cell(mechanism="warp-drive"))
+    assert exc.value.status == 422
+    assert "unknown mechanism 'warp-drive'" in exc.value.message
+
+    with pytest.raises(ServiceError) as exc:
+        client.submit(cell(rate=-0.5))
+    assert exc.value.status == 422
+    assert "non-negative" in exc.value.message
+
+    # body that is not even JSON
+    with pytest.raises(ServiceError) as exc:
+        client.submit_text("{not json")
+    assert exc.value.status == 422
+
+    # full-system workload specs are not service material
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"mechanism": "baseline", "workload": "dedup"})
+    assert exc.value.status == 422
+    assert "not cacheable" in exc.value.message
+
+    # nothing malformed ever reaches the queue or the store's happy path
+    assert all(j["status"] != "queued" for j in client.jobs())
+
+
+def test_envelope_priority_and_tags_roundtrip(service):
+    _, client = service()
+    snap = client.submit({"spec": FAST, "priority": 7,
+                          "tags": {"team": "noc"}})
+    assert snap["priority"] == 7
+    assert snap["tags"] == {"team": "noc"}
+    # query override wins over the envelope
+    snap2 = client.submit({"spec": cell(seed=8), "priority": 7},
+                          priority=-3)
+    assert snap2["priority"] == -3
+
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"spec": FAST, "priority": 1000})
+    assert exc.value.status == 422
+    with pytest.raises(ServiceError) as exc:
+        client.submit_text(json.dumps(FAST), priority=1000)
+    assert exc.value.status == 422
+
+
+def test_cancel_queued_job_leaves_store_consistent(service):
+    gate = threading.Event()
+    svc, client = service(executor=lambda: SlowSerial(gate=gate),
+                          workers=1)
+    blocker = client.submit(FAST)
+    victim = client.submit(cell(seed=99))
+    out = client.cancel(victim["id"])
+    assert out["status"] == CANCELLED
+
+    gate.set()
+    done = client.wait(blocker["id"])
+    assert done["status"] == DONE
+    # the cancelled job never ran and the queue drained
+    final = client.job(victim["id"])
+    assert final["status"] == CANCELLED
+    assert final["started_seq"] is None
+    assert final["done_cells"] == 0
+    assert client.health()["queued"] == 0
+    assert client.metric("service.jobs.cancelled") == 1
+
+    # cancelling a terminal job is a conflict
+    with pytest.raises(ServiceError) as exc:
+        client.cancel(victim["id"])
+    assert exc.value.status == 409
+
+
+def test_cancel_running_job_keeps_cache_consistent(service, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    svc, client = service(executor=lambda: SlowSerial(delay=0.15),
+                          workers=1, cache=cache)
+    snap = client.submit(FAST_SWEEP)
+    deadline = time.monotonic() + 30.0
+    while client.job(snap["id"])["done_cells"] < 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    out = client.cancel(snap["id"])
+    assert out["status"] == "running" and out["cancelling"]
+
+    final = client.wait(snap["id"])
+    assert final["status"] == CANCELLED
+    assert 0 < final["done_cells"] < final["total_cells"]
+
+    # every cache file the partial run left behind parses and carries
+    # a replayable result
+    files = list((tmp_path / "cache").rglob("*.json"))
+    assert files
+    for f in files:
+        json.loads(f.read_text())
+
+    # a resubmission completes, reuses the partial cells, and matches a
+    # fresh local run exactly
+    executed_before = client.metric("service.cells.executed")
+    redo = client.wait(client.submit(FAST_SWEEP)["id"])
+    assert redo["status"] == DONE
+    series = run_sweep_spec(SweepSpec(**FAST_SWEEP))
+    local = stable_digest(
+        {m: [result_to_dict(r) for r in rs] for m, rs in series.items()})
+    assert client.result(redo["id"])["digest"] == local
+    executed_after = client.metric("service.cells.executed")
+    assert executed_after - executed_before < redo["total_cells"]
+
+
+def test_result_of_unfinished_job_is_409(service):
+    gate = threading.Event()
+    _, client = service(executor=lambda: SlowSerial(gate=gate), workers=1)
+    snap = client.submit(FAST)
+    with pytest.raises(ServiceError) as exc:
+        client.result(snap["id"])
+    assert exc.value.status == 409
+    gate.set()
+    client.wait(snap["id"])
+    assert client.result(snap["id"])["digest"]
+
+
+def test_metrics_endpoint_text_and_json(service):
+    _, client = service()
+    client.wait(client.submit(FAST)["id"])
+    text = client.metrics_text()
+    lines = [line for line in text.splitlines() if line]
+    names = [line.split(" ", 1)[0] for line in lines]
+    assert names == sorted(names)
+    scalars = {line.split(" ", 1)[0]: float(line.split(" ", 1)[1])
+               for line in lines}
+    assert scalars["service.jobs.submitted"] == 1
+    assert scalars["service.jobs.completed"] == 1
+    assert scalars["service.cells.executed"] == 1
+
+    doc = client.metrics()
+    assert doc["instruments"]["service.jobs.submitted"]["value"] == 1
+
+
+def test_unknown_routes_and_methods(service):
+    _, client = service()
+    with pytest.raises(ServiceError) as exc:
+        client.job("j999999")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client._request("GET", "/nope")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client._request("DELETE", "/metrics")
+    assert exc.value.status == 405
+    assert client.health()["status"] == "ok"
+
+
+def test_cli_submit_roundtrip(service, tmp_path, capsys):
+    from repro.cli import main
+
+    _, client = service()
+    spec_file = tmp_path / "cell.json"
+    spec_file.write_text(json.dumps(FAST))
+    assert main(["submit", str(spec_file),
+                 "--port", str(client.port)]) == 0
+    out = capsys.readouterr().out
+    assert "result digest" in out
+    local = stable_digest(result_to_dict(
+        run_spec(ExperimentSpec(**FAST).resolved())))
+    assert local in out
+
+    # resubmission reports the cache hit on the status line
+    assert main(["submit", str(spec_file),
+                 "--port", str(client.port)]) == 0
+    again = capsys.readouterr().out
+    assert "cache_hit" in again and local in again
+
+    # a malformed file is a clean error, not a traceback
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(cell(mechanism="nope")))
+    assert main(["submit", str(bad), "--port", str(client.port)]) == 2
+    assert "unknown mechanism" in capsys.readouterr().err
+
+
+def test_bench_endpoint_serves_snapshot(service, tmp_path):
+    doc = {"schema": 1, "cells": [
+        {"mechanism": "gflov", "gated_fraction": 0.4,
+         "dense_over_active": 3.0}]}
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(json.dumps(doc))
+    _, client = service(bench_source=str(path))
+    out = client.bench()
+    assert out["snapshot"]["cells"] == doc["cells"]
+    assert out["source"] == str(path)
+
+    _, bare = service()
+    with pytest.raises(ServiceError) as exc:
+        bare.bench()
+    assert exc.value.status == 404
