@@ -527,18 +527,37 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .service import ExperimentService
+
+    if args.log_json:
+        from .obs.logging import configure_json_logging
+        configure_json_logging()
 
     svc = ExperimentService(
         args.host, args.port, workers=args.workers,
         executor=args.executor, batch_size=args.batch_size,
         use_cache=not args.no_cache,
-        bench_source=args.bench_snapshot or None)
+        bench_source=args.bench_snapshot or None,
+        telemetry_dir=args.telemetry_dir or None)
+
+    async def main() -> None:
+        # graceful shutdown: SIGTERM/SIGINT stop the serve loop, which
+        # flushes span buffers + the metrics snapshot (--telemetry-dir)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, svc.request_stop)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platform without loop signal support
+        await svc.run_async(announce=lambda url: print(
+            f"repro service listening on {url}", flush=True))
+
     try:
-        asyncio.run(svc.run_async(announce=lambda url: print(
-            f"repro service listening on {url}", flush=True)))
+        asyncio.run(main())
     except KeyboardInterrupt:
+        # fallback when the signal handler could not be installed
         print("repro serve: interrupted, shutting down", file=sys.stderr)
     return 0
 
@@ -574,6 +593,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     print(f"status             {snap['status']} "
           f"({snap['cache_hit_cells']}/{snap['total_cells']} cells from "
           f"cache)")
+    if snap.get("trace_id"):
+        print(f"trace              {snap['trace_id']} "
+              f"(GET /jobs/{job_id}/trace)")
     if snap["status"] not in ("done", "cache_hit"):
         if snap.get("error"):
             print(f"repro submit: job {job_id} failed: {snap['error']}",
@@ -765,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-snapshot", default="",
                    help="path or URL of a BENCH_kernel.json served on "
                         "GET /bench")
+    p.add_argument("--log-json", action="store_true",
+                   help="structured JSON logging; every service line "
+                        "carries the job's trace/span ids")
+    p.add_argument("--telemetry-dir", default="",
+                   help="flush span buffers + a metrics snapshot here on "
+                        "shutdown (SIGTERM/SIGINT included)")
 
     p = sub.add_parser(
         "submit", help="submit a spec file to a running service")

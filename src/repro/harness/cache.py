@@ -185,12 +185,25 @@ class ResultCache:
 
     # -- operations ----------------------------------------------------------
 
-    def get(self, key: dict[str, Any]) -> ExperimentResult | None:
+    def get(self, key: dict[str, Any], *, tracer: Any | None = None,
+            parent: Any | None = None) -> ExperimentResult | None:
         """Cached result for ``key``, or None.
 
         A file that cannot be parsed or fails basic shape checks is
-        removed with a warning and treated as a miss.
+        removed with a warning and treated as a miss.  With a
+        :class:`~repro.obs.spans.SpanTracer` (and optional parent
+        context) the lookup is recorded as a ``cache.probe`` span with
+        a ``cache.hit`` attribute; untraced probes pay only the keyword
+        default.
         """
+        if tracer is not None:
+            with tracer.span("cache.probe", parent=parent) as sp:
+                result = self._get(key)
+                sp.set_attribute("cache.hit", result is not None)
+            return result
+        return self._get(key)
+
+    def _get(self, key: dict[str, Any]) -> ExperimentResult | None:
         path = self.path_for(key)
         if not path.is_file():
             self.misses += 1

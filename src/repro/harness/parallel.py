@@ -118,6 +118,11 @@ class SweepTask:
     schedule: GatingSchedule | None = None
     overrides: dict[str, Any] = field(default_factory=dict)
     pattern_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: distributed-trace context stamped by the engine (never user-set);
+    #: excluded from equality and from the cache key — tracing a task
+    #: must not change what it computes or where it is stored
+    span_context: Any | None = field(default=None, compare=False,
+                                     repr=False)
 
     @classmethod
     def from_spec(cls, spec: ExperimentSpec) -> "SweepTask":
@@ -168,7 +173,8 @@ class SweepTask:
                          drain=self.drain, keep_samples=self.keep_samples,
                          schedule=self.schedule,
                          overrides=dict(self.overrides),
-                         pattern_kwargs=dict(self.pattern_kwargs))
+                         pattern_kwargs=dict(self.pattern_kwargs),
+                         span_context=self.span_context)
         base = getattr(self, "_spec", None)
         if base is not None:
             task._spec = base.resolved()
@@ -195,9 +201,39 @@ class SweepTask:
         return run_spec(self.spec(), schedule=self.schedule)
 
 
-def _execute_task(task: SweepTask) -> ExperimentResult:
-    """Module-level worker entry point (must be picklable)."""
-    return task.run()
+def _execute_task(task: SweepTask) -> Any:
+    """Module-level worker entry point (must be picklable).
+
+    The untraced path is one attribute test (the hot-path contract);
+    a task carrying a :class:`~repro.obs.spans.SpanContext` runs under
+    a ``cell.run`` span opened *here* — in whatever process executes
+    the task — with kernel phase timings attached, and returns a
+    :class:`~repro.obs.spans.SpanCarrier` the engine unwraps.
+    """
+    if task.span_context is None:
+        return task.run()
+    return _run_traced(task)
+
+
+def _run_traced(task: SweepTask) -> Any:
+    from ..obs.profile import KernelProfiler
+    from ..obs.spans import SpanCarrier, SpanTracer
+
+    tracer = SpanTracer(capacity=64)
+    prof = KernelProfiler()
+    with tracer.span("cell.run", context=task.span_context, attributes={
+            "pid": os.getpid(),
+            "cell.mechanism": task.mechanism,
+            "cell.pattern": task.pattern,
+            "cell.rate": task.rate,
+            "cell.gated_fraction": task.gated_fraction,
+            "cell.seed": task.seed}) as sp:
+        result = run_spec(task.spec(), schedule=task.schedule, profiler=prof)
+        for phase, ns in prof.phase_ns().items():
+            sp.set_attribute(f"kernel.{phase}_ns", ns)
+        sp.set_attribute("kernel.cycles", prof.cycles)
+        sp.set_attribute("kernel.step_ns", prof.step_ns)
+    return SpanCarrier(result, tracer.export())
 
 
 def _call(fn_and_item: tuple[Callable[[Any], Any], Any]) -> Any:
@@ -255,7 +291,7 @@ class SerialExecutor:
     def execute(self, tasks: Sequence[SweepTask], emit: EmitFn) -> None:
         self.mode = "serial"
         for i, task in enumerate(tasks):
-            emit(i, task.run())
+            emit(i, _execute_task(task))
 
     def map(self, fn: Callable[[Any], Any],
             items: Sequence[Any]) -> list[Any]:
@@ -407,12 +443,38 @@ class BatchedExecutor:
         for idxs in groups.values():
             for start in range(0, len(idxs), self.batch_size):
                 chunk = idxs[start:start + self.batch_size]
+                traced = any(tasks[i].span_context is not None
+                             for i in chunk)
+                if traced:
+                    import time as _time
+                    t_start = _time.time_ns()
+                    p0 = _time.perf_counter_ns()
                 batch_results = run_spec_batch(
                     [tasks[i].spec() for i in chunk],
                     schedules=[tasks[i].schedule for i in chunk])
                 self.last_batches += 1
-                for i, res in zip(chunk, batch_results):
-                    emit(i, res)
+                if traced:
+                    # replicas step in lockstep inside one kernel loop,
+                    # so per-cell clocks do not exist: every traced cell
+                    # gets the shared batch interval, flagged as such
+                    from ..obs.spans import SpanCarrier, finished_span
+                    dur = _time.perf_counter_ns() - p0
+                    for i, res in zip(chunk, batch_results):
+                        ctx = tasks[i].span_context
+                        if ctx is None:
+                            emit(i, res)
+                            continue
+                        emit(i, SpanCarrier(res, [finished_span(
+                            "cell.run", ctx, start_unix_ns=t_start,
+                            duration_ns=dur, attributes={
+                                "pid": os.getpid(),
+                                "executor": "batched",
+                                "batch.size": len(chunk),
+                                "batch.shared_interval": True,
+                                "cell.seed": tasks[i].seed})]))
+                else:
+                    for i, res in zip(chunk, batch_results):
+                        emit(i, res)
 
     def map(self, fn: Callable[[Any], Any],
             items: Sequence[Any]) -> list[Any]:
@@ -451,6 +513,17 @@ class ParallelSweep:
     executor:
         An :class:`Executor` instance to schedule onto; default is a
         :class:`PoolExecutor` built from ``max_workers``/``task_timeout``.
+    span_tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`.  When set, every
+        run opens a ``sweep.run`` span (child of ``span_parent``, or a
+        trace root), cache probes/writes and per-cell executions get
+        child spans — including spans opened inside pool worker
+        processes and shipped back — and all of them land in this
+        tracer.  When ``None`` (the default) the only cost is the
+        ``is not None`` guards.
+    span_parent:
+        Parent :class:`~repro.obs.spans.SpanContext` for the run span
+        (the service passes its per-job root here).
     """
 
     def __init__(self, max_workers: int | None = None, *,
@@ -458,7 +531,9 @@ class ParallelSweep:
                  cache: ResultCache | None = None,
                  task_timeout: float | None = None,
                  progress: ProgressFn | None = None,
-                 executor: Executor | None = None) -> None:
+                 executor: Executor | None = None,
+                 span_tracer: Any | None = None,
+                 span_parent: Any | None = None) -> None:
         self.max_workers = (default_jobs() if max_workers is None
                             else max(1, int(max_workers)))
         self.use_cache = use_cache
@@ -470,6 +545,8 @@ class ParallelSweep:
             else PoolExecutor(self.max_workers,
                               task_timeout=self.task_timeout))
         self.progress = progress
+        self.span_tracer = span_tracer
+        self.span_parent = span_parent
         #: how the last run() executed its computed tasks
         self.last_mode: str = "none"
         #: cache hits observed during the last run()
@@ -496,36 +573,70 @@ class ParallelSweep:
         keys: list[dict[str, Any] | None] = [None] * total
         self.executor.reset()
 
-        pending: list[int] = []
-        done = 0
-        for i, task in enumerate(resolved):
-            key = task.cache_key() if caching else None
-            keys[i] = key
-            hit = self.cache.get(key) if key is not None else None
-            if hit is not None:
-                results[i] = hit
-                done += 1
-                self._notify(done, total, task, hit, True)
+        tracer = self.span_tracer
+        run_span = None
+        parent_ctx = None
+        carrier_cls: type | None = None
+        if tracer is not None:
+            from ..obs.spans import SpanCarrier as carrier_cls
+            run_span = tracer.start("sweep.run", parent=self.span_parent,
+                                    attributes={"cells": total})
+            parent_ctx = run_span.context
+
+        try:
+            pending: list[int] = []
+            done = 0
+            for i, task in enumerate(resolved):
+                key = task.cache_key() if caching else None
+                keys[i] = key
+                hit = (self.cache.get(key, tracer=tracer, parent=parent_ctx)
+                       if key is not None else None)
+                if hit is not None:
+                    results[i] = hit
+                    done += 1
+                    self._notify(done, total, task, hit, True)
+                else:
+                    if tracer is not None:
+                        task.span_context = parent_ctx.child()
+                    pending.append(i)
+            self.last_cache_hits = total - len(pending)
+
+            if pending:
+                payloads = [resolved[i] for i in pending]
+                state = {"done": done}
+
+                def emit(j: int, res: Any) -> None:
+                    i = pending[j]
+                    if carrier_cls is not None and \
+                            isinstance(res, carrier_cls):
+                        tracer.ingest(res.spans)
+                        res = res.result
+                    results[i] = res
+                    if caching and keys[i] is not None:
+                        if tracer is not None:
+                            with tracer.span("cache.write",
+                                             parent=parent_ctx,
+                                             attributes={"cell.index": i}):
+                                self.cache.put(keys[i], res)
+                        else:
+                            self.cache.put(keys[i], res)
+                    state["done"] += 1
+                    self._notify(state["done"], total, resolved[i], res,
+                                 False)
+
+                self.executor.execute(payloads, emit)
+                self.last_mode = self.executor.mode
             else:
-                pending.append(i)
-        self.last_cache_hits = total - len(pending)
-
-        if pending:
-            payloads = [resolved[i] for i in pending]
-            state = {"done": done}
-
-            def emit(j: int, res: ExperimentResult) -> None:
-                i = pending[j]
-                results[i] = res
-                if caching and keys[i] is not None:
-                    self.cache.put(keys[i], res)
-                state["done"] += 1
-                self._notify(state["done"], total, resolved[i], res, False)
-
-            self.executor.execute(payloads, emit)
-            self.last_mode = self.executor.mode
-        else:
-            self.last_mode = "cached"
+                self.last_mode = "cached"
+        except BaseException:
+            if run_span is not None:
+                run_span.end(status="error")
+            raise
+        finally:
+            if run_span is not None and not run_span.ended:
+                run_span.set_attribute("cache_hits", self.last_cache_hits)
+                run_span.set_attribute("mode", self.last_mode)
+                run_span.end()
         return results  # type: ignore[return-value]
 
     def run_one(self, task: SweepTask) -> ExperimentResult:
@@ -575,10 +686,13 @@ class BatchedSweep(ParallelSweep):
 
     def __init__(self, batch_size: int = 8, *, use_cache: bool = True,
                  cache: ResultCache | None = None,
-                 progress: ProgressFn | None = None) -> None:
+                 progress: ProgressFn | None = None,
+                 span_tracer: Any | None = None,
+                 span_parent: Any | None = None) -> None:
         super().__init__(max_workers=1, use_cache=use_cache, cache=cache,
                          progress=progress,
-                         executor=BatchedExecutor(batch_size))
+                         executor=BatchedExecutor(batch_size),
+                         span_tracer=span_tracer, span_parent=span_parent)
 
     @property
     def batch_size(self) -> int:

@@ -27,13 +27,19 @@ from .analysis import (REPORT_SCHEMA, AnalysisReport, CongestionReport,
 from .events import (CONTROL_KINDS, EVENT_FIELDS, EVENT_KINDS, FLIT_KINDS,
                      TraceEvent, event_from_dict)
 from .export import (chrome_trace_events, load_jsonl, load_metrics_csv,
-                     validate_chrome_trace, write_chrome_trace, write_jsonl,
-                     write_metrics_csv, write_metrics_json)
+                     spans_to_chrome_trace, validate_chrome_trace,
+                     write_chrome_trace, write_jsonl, write_metrics_csv,
+                     write_metrics_json, write_span_chrome_trace)
+from .logging import JsonLogFormatter, configure_json_logging
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry)
+                      MetricsRegistry, parse_prometheus_text,
+                      prometheus_name)
 from .profile import (PHASES, PROFILE_SCHEMA, KernelProfiler, ProfileResult,
                       attach_profiler, profile_run)
 from .sampler import DEFAULT_EVERY, NetworkSampler
+from .spans import (DEFAULT_SPAN_CAPACITY, Span, SpanCarrier, SpanContext,
+                    SpanTracer, current_span_context, finished_span,
+                    validate_span_tree)
 from .tracer import DEFAULT_CAPACITY, Tracer
 
 __all__ = [
@@ -53,4 +59,10 @@ __all__ = [
     # profiler (PR 4)
     "KernelProfiler", "ProfileResult", "PHASES", "PROFILE_SCHEMA",
     "attach_profiler", "profile_run",
+    # distributed spans + telemetry (PR 9)
+    "Span", "SpanCarrier", "SpanContext", "SpanTracer",
+    "DEFAULT_SPAN_CAPACITY", "current_span_context", "finished_span",
+    "validate_span_tree", "spans_to_chrome_trace", "write_span_chrome_trace",
+    "JsonLogFormatter", "configure_json_logging",
+    "parse_prometheus_text", "prometheus_name",
 ]

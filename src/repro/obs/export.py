@@ -152,6 +152,60 @@ def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
     return problems
 
 
+# -- span traces --------------------------------------------------------------
+
+
+def spans_to_chrome_trace(spans: Sequence[dict[str, Any]],
+                          *, source: str = "repro.obs.spans"
+                          ) -> dict[str, Any]:
+    """Render finished span records as a Chrome-trace/Perfetto document.
+
+    Same object format as :func:`write_chrome_trace`, but over *wall
+    clock*: each span becomes a complete slice (``ph: "X"``) whose
+    ``ts``/``dur`` are microseconds relative to the earliest span start.
+    Tracks mirror where the work ran — one thread (``tid``) per
+    distinct producing process (the ``pid`` span attribute a worker
+    stamps), so pool workers show up as their own lanes under one
+    service process.  Span ids/attributes land in ``args`` for
+    Perfetto's detail pane.
+    """
+    entries: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "repro.service"}},
+    ]
+    producers = sorted({int(s.get("attributes", {}).get("pid", 0))
+                        for s in spans})
+    tids = {pid: i for i, pid in enumerate(producers)}
+    for pid, tid in tids.items():
+        label = "service" if pid == 0 else f"worker pid {pid}"
+        entries.append({"name": "thread_name", "ph": "M", "pid": 0,
+                        "tid": tid, "args": {"name": label}})
+    t0 = min((s["start_unix_ns"] for s in spans), default=0)
+    for s in spans:
+        pid = int(s.get("attributes", {}).get("pid", 0))
+        args = dict(s.get("attributes", {}))
+        args.update({"trace_id": s["trace_id"], "span_id": s["span_id"],
+                     "parent_id": s.get("parent_id"),
+                     "status": s.get("status", "ok")})
+        entries.append({
+            "name": s["name"], "ph": "X", "cat": "span",
+            "ts": (s["start_unix_ns"] - t0) / 1000.0,
+            "dur": (s.get("duration_ns") or 0) / 1000.0,
+            "pid": 0, "tid": tids.get(pid, 0), "args": args,
+        })
+    return {"traceEvents": entries, "displayTimeUnit": "ms",
+            "otherData": {"source": source, "time_unit": "wall_us"}}
+
+
+def write_span_chrome_trace(spans: Sequence[dict[str, Any]],
+                            path_or_fh: str | IO[str]) -> int:
+    """Write :func:`spans_to_chrome_trace` output to disk/handle."""
+    doc = spans_to_chrome_trace(spans)
+    with _open_w(path_or_fh) as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])
+
+
 # -- metrics ------------------------------------------------------------------
 
 

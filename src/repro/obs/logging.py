@@ -1,0 +1,93 @@
+"""Structured JSON logging correlated with distributed traces.
+
+One log line = one JSON object on one line: timestamp, level, logger,
+message, any ``extra={...}`` fields the call site attached — and the
+trace/span ids of whatever span is active, taken from the call's
+explicit ``trace_id``/``span_id`` extras when present, else from the
+ambient :func:`repro.obs.spans.current_span_context` (a contextvar that
+:meth:`SpanTracer.span` maintains, and that ``asyncio.to_thread``
+copies into worker threads for free).
+
+``repro serve --log-json`` routes the ``repro.service`` logger through
+:func:`configure_json_logging`; without the flag, logging stays at the
+stdlib default (WARNING to stderr, plain text) and costs nothing on
+request paths below that level.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, IO
+
+from .spans import current_span_context
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]
+
+#: LogRecord attributes that are plumbing, not user-supplied extras
+_RESERVED = frozenset({
+    "args", "asctime", "created", "exc_info", "exc_text", "filename",
+    "funcName", "levelname", "levelno", "lineno", "message", "module",
+    "msecs", "msg", "name", "pathname", "process", "processName",
+    "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+})
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format every record as a single-line JSON object.
+
+    Key order is fixed (``ts``, ``level``, ``logger``, ``message``,
+    ``trace_id``, ``span_id``, then extras sorted) so lines diff and
+    grep cleanly; non-JSON-serializable extras degrade to ``str``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        extras = {k: v for k, v in record.__dict__.items()
+                  if k not in _RESERVED and not k.startswith("_")}
+        trace_id = extras.pop("trace_id", None)
+        span_id = extras.pop("span_id", None)
+        if trace_id is None:
+            ctx = current_span_context()
+            if ctx is not None:
+                trace_id, span_id = ctx.trace_id, ctx.span_id
+        if trace_id is not None:
+            doc["trace_id"] = trace_id
+        if span_id is not None:
+            doc["span_id"] = span_id
+        for key in sorted(extras):
+            doc[key] = extras[key]
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+def configure_json_logging(*, logger: str = "repro",
+                           level: int = logging.INFO,
+                           stream: IO[str] | None = None
+                           ) -> logging.Handler:
+    """Attach a JSON handler to ``logger`` (idempotent per stream).
+
+    Returns the handler so tests and the CLI can detach or retarget
+    it.  ``propagate`` is disabled on the target logger so lines are
+    not double-printed through the root handler.
+    """
+    target = logging.getLogger(logger)
+    stream = stream if stream is not None else sys.stderr
+    for h in target.handlers:
+        if isinstance(h.formatter, JsonLogFormatter) and \
+                getattr(h, "stream", None) is stream:
+            target.setLevel(level)
+            return h
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    target.addHandler(handler)
+    target.setLevel(level)
+    target.propagate = False
+    return handler

@@ -10,6 +10,7 @@ registration boilerplate.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Sequence
 
@@ -191,3 +192,146 @@ class MetricsRegistry:
                             for name, inst in self.instruments.items()},
             "samples": self.rows,
         }
+
+    # -- Prometheus text exposition ------------------------------------------
+
+    def prometheus_text(self,
+                        help_text: dict[str, str] | None = None) -> str:
+        """Render every instrument in Prometheus text exposition format.
+
+        One ``# HELP`` / ``# TYPE`` pair per metric family; histograms
+        expand to cumulative ``_bucket{le="..."}`` lines (inclusive
+        upper edges match Prometheus ``le`` semantics exactly), a
+        terminal ``+Inf`` bucket, ``_sum`` and ``_count``.  Dotted
+        internal names are sanitized to underscores
+        (``service.queue.depth`` → ``service_queue_depth``).  Scrapers
+        and :func:`parse_prometheus_text` both accept the output.
+        """
+        help_text = help_text or {}
+        lines: list[str] = []
+        for name in sorted(self.instruments):
+            inst = self.instruments[name]
+            pname = prometheus_name(name)
+            doc = help_text.get(name, f"repro metric {name}")
+            if isinstance(inst, Counter):
+                lines.append(f"# HELP {pname} {doc}")
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_fmt_value(inst.value)}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# HELP {pname} {doc}")
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_fmt_value(inst.value)}")
+            else:
+                lines.append(f"# HELP {pname} {doc}")
+                lines.append(f"# TYPE {pname} histogram")
+                cum = 0
+                for bound, n in zip(inst.bounds, inst.counts):
+                    cum += n
+                    lines.append(f'{pname}_bucket{{le="{_fmt_le(bound)}"}} '
+                                 f"{cum}")
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {inst.count}')
+                lines.append(f"{pname}_sum {_fmt_value(inst.total)}")
+                lines.append(f"{pname}_count {inst.count}")
+        return "\n".join(lines) + "\n"
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize an internal dotted metric name for Prometheus."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_le(bound: float) -> str:
+    return format(bound, "g")
+
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME_RE})(\{{[^{{}}]*\}})? "
+    r"([-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [0-9]+)?$")
+_LABEL_RE = re.compile(rf'({_NAME_RE})="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Strictly parse Prometheus text exposition into metric families.
+
+    Raises :class:`ValueError` on any malformed line, on samples whose
+    family carries no ``# TYPE``, on non-cumulative histogram buckets,
+    or on a histogram whose ``+Inf`` bucket disagrees with ``_count``.
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value), ...]}}`` — the in-process validity check CI runs against a
+    live ``/metrics?format=prometheus`` scrape.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and families.get(base, {}).get(
+                    "type") == "histogram":
+                return base
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment "
+                                 f"{raw!r}")
+            kind, name = parts[1], parts[2]
+            fam = families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            if kind == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown metric type "
+                                     f"{parts[3]!r}")
+                if fam["samples"]:
+                    raise ValueError(f"line {lineno}: TYPE for {name!r} "
+                                     "after its samples")
+                fam["type"] = parts[3]
+            else:
+                fam["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        sample_name, label_blob, value_s = m.group(1), m.group(2), m.group(3)
+        labels = (dict(_LABEL_RE.findall(label_blob[1:-1]))
+                  if label_blob else {})
+        fam_name = family_of(sample_name)
+        fam = families.get(fam_name)
+        if fam is None or fam["type"] is None:
+            raise ValueError(f"line {lineno}: sample {sample_name!r} has "
+                             "no # TYPE declaration")
+        fam["samples"].append((sample_name, labels, float(value_s)))
+
+    for name, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        buckets = [(labels.get("le"), v) for s, labels, v in fam["samples"]
+                   if s == f"{name}_bucket"]
+        counts = [v for s, _, v in fam["samples"] if s == f"{name}_count"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise ValueError(f"histogram {name!r} missing +Inf bucket")
+        values = [v for _, v in buckets]
+        if any(a > b for a, b in zip(values, values[1:])):
+            raise ValueError(f"histogram {name!r} buckets not cumulative")
+        if not counts or counts[0] != values[-1]:
+            raise ValueError(f"histogram {name!r} +Inf bucket disagrees "
+                             "with _count")
+    return families

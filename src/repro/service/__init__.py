@@ -4,7 +4,8 @@ See :mod:`repro.service.app` for the endpoint reference and
 ``docs/service.md`` for the full API documentation.
 """
 
-from .app import EXECUTOR_KINDS, ExperimentService
+from .app import EXECUTOR_KINDS, QUEUE_WAIT_BUCKETS, WALL_BUCKETS, \
+    ExperimentService
 from .client import ServiceClient, ServiceError
 from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
                    SUCCESS_STATES, TERMINAL_STATES, Job, JobCancelled,
@@ -15,6 +16,8 @@ from .sse import decode_stream, encode_event
 __all__ = [
     "ExperimentService",
     "EXECUTOR_KINDS",
+    "QUEUE_WAIT_BUCKETS",
+    "WALL_BUCKETS",
     "ServiceClient",
     "ServiceError",
     "Job",

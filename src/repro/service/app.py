@@ -23,11 +23,18 @@ Endpoints
 ``GET``     ``/jobs``                all job snapshots, submission order
 ``GET``     ``/jobs/<id>``           one job snapshot (poll this)
 ``GET``     ``/jobs/<id>/result``    result payload of a finished job
-``GET``     ``/jobs/<id>/events``    ordered, complete SSE stream; closes
-                                     after the terminal ``end`` event
+``GET``     ``/jobs/<id>/events``    ordered, complete SSE stream (status,
+                                     per-cell progress, live ``metrics``
+                                     ticks); closes after the terminal
+                                     ``end`` event
+``GET``     ``/jobs/<id>/trace``     the job's distributed span trace
+                                     (``?format=chrome`` for a
+                                     Perfetto-loadable document)
 ``DELETE``  ``/jobs/<id>``           cancel (also ``POST /jobs/<id>/cancel``)
 ``GET``     ``/metrics``             plain-text ``name value`` exposition
-                                     (``?format=json`` for full detail)
+                                     (``?format=json`` for full detail,
+                                     ``?format=prometheus`` for Prometheus
+                                     text exposition)
 ``GET``     ``/healthz``             liveness + queue depth
 ``GET``     ``/bench``               the configured kernel benchmark
                                      snapshot (path or URL source, loaded
@@ -47,6 +54,18 @@ behind it (``dedup_of``) and served from the store when the primary
 lands — N racing clients cost one execution.  Both show up on
 ``/metrics`` (``service.cells.cache_hits``,
 ``service.dedupe.inflight_hits``, ``service.jobs.cache_hits``).
+
+Telemetry (PR 9): every job owns a distributed trace — a root ``job``
+span opened at submission whose children decompose the job's
+wall-clock exactly: ``submit.parse``, per-cell ``cache.probe``\\ s,
+``queue.wait`` (enqueue→dequeue, also observed into the
+``service.queue.wait_seconds`` histogram), ``sweep.run`` with
+``cell.run`` spans opened *inside worker processes* (kernel phase
+timings attached) and ``cache.write``\\ s.  ``GET /jobs/<id>/trace``
+serves the tree; SSE streams add live per-job ``metrics`` events;
+service log lines carry the trace/span ids when JSON logging is on
+(``repro serve --log-json``); SIGTERM/SIGINT flush span buffers and a
+metrics snapshot to ``--telemetry-dir``.
 """
 
 from __future__ import annotations
@@ -54,8 +73,10 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import threading
 import time
+from pathlib import Path
 from typing import Any, Callable
 from urllib.parse import parse_qsl, unquote
 
@@ -63,7 +84,9 @@ from ..harness.benchdiff import load_bench_source
 from ..harness.cache import ResultCache, result_to_dict, stable_digest
 from ..harness.parallel import (BatchedExecutor, Executor, ParallelSweep,
                                 PoolExecutor, SerialExecutor, SweepTask)
+from ..obs.export import spans_to_chrome_trace
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import DEFAULT_SPAN_CAPACITY, SpanTracer
 from ..spec import JobEnvelope, SpecError, SweepSpec
 from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
                    SUCCESS_STATES, Job, JobCancelled, JobStore)
@@ -72,11 +95,34 @@ from .sse import encode_event
 
 __all__ = ["ExperimentService", "EXECUTOR_KINDS"]
 
+log = logging.getLogger("repro.service")
+
 #: named executor strategies ``--executor`` accepts
 EXECUTOR_KINDS = ("pool", "serial", "batched")
 
 #: job wall-clock histogram bucket upper edges, seconds
 WALL_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+#: enqueue→dequeue latency histogram bucket upper edges, seconds
+QUEUE_WAIT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+#: # HELP strings for the Prometheus exposition
+_METRIC_HELP = {
+    "service.jobs.submitted": "Jobs accepted via POST /jobs",
+    "service.jobs.completed": "Jobs that finished done",
+    "service.jobs.failed": "Jobs that finished failed",
+    "service.jobs.cancelled": "Jobs cancelled before or during execution",
+    "service.jobs.cache_hits": "Jobs served entirely from the result store",
+    "service.cells.executed": "Experiment cells computed by executors",
+    "service.cells.cache_hits": "Experiment cells served from the store",
+    "service.dedupe.inflight_hits": "Submissions parked behind an "
+                                    "identical in-flight job",
+    "service.jobs.running": "Jobs currently executing",
+    "service.queue.depth": "Jobs currently queued",
+    "service.job.wall_seconds": "Job wall-clock from dequeue to terminal "
+                                "state",
+    "service.queue.wait_seconds": "Job latency from enqueue to dequeue",
+}
 
 _REASONS = {200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
@@ -133,6 +179,12 @@ class ExperimentService:
     bench_source:
         Path or URL of a ``BENCH_kernel.json`` snapshot served on
         ``GET /bench`` (404 when unset).
+    telemetry_dir:
+        Directory that receives ``spans.jsonl`` + ``metrics.json`` on
+        shutdown (``repro serve --telemetry-dir``); ``None`` disables
+        the flush.
+    span_capacity:
+        Finished-span bound per job trace (oldest dropped first).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -143,7 +195,9 @@ class ExperimentService:
                  cache: ResultCache | None = None,
                  use_cache: bool = True,
                  bench_source: str | None = None,
-                 max_body: int = 8 * 1024 * 1024) -> None:
+                 max_body: int = 8 * 1024 * 1024,
+                 telemetry_dir: str | None = None,
+                 span_capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
         if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor {executor!r}; expected one "
                              f"of {EXECUTOR_KINDS} or an Executor")
@@ -158,6 +212,8 @@ class ExperimentService:
         self._use_cache = use_cache
         self._bench_source = bench_source
         self._max_body = max_body
+        self._telemetry_dir = telemetry_dir
+        self._span_capacity = span_capacity
 
         self.store = JobStore()
         self.queue = JobQueue()
@@ -180,6 +236,8 @@ class ExperimentService:
         self.metrics.gauge("service.jobs.running")
         self.metrics.gauge("service.queue.depth")
         self.metrics.histogram("service.job.wall_seconds", WALL_BUCKETS)
+        self.metrics.histogram("service.queue.wait_seconds",
+                               QUEUE_WAIT_BUCKETS)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -193,6 +251,16 @@ class ExperimentService:
                               for _ in range(self.worker_count)]
         return self.port
 
+    def request_stop(self) -> None:
+        """Ask a running service to shut down gracefully.
+
+        Safe from signal handlers registered on the service's own loop
+        (``loop.add_signal_handler`` runs them in the loop thread);
+        cross-thread callers should go through :meth:`stop`.
+        """
+        if self._stop_event is not None:
+            self._stop_event.set()
+
     async def _shutdown(self) -> None:
         for job in self.store.jobs():
             if job.status == RUNNING:
@@ -203,6 +271,38 @@ class ExperimentService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        paths = self.flush_telemetry()
+        if paths:
+            log.info("telemetry flushed", extra={"paths": paths})
+
+    def flush_telemetry(self, directory: str | None = None
+                        ) -> dict[str, str] | None:
+        """Write span buffers + a metrics snapshot to disk.
+
+        ``spans.jsonl`` holds every retained finished span of every job
+        (one JSON object per line, grouped by trace since spans carry
+        their trace id); ``metrics.json`` is the full
+        :meth:`MetricsRegistry.as_dict` dump.  Returns the written
+        paths, or None when no directory is configured.
+        """
+        d = directory or self._telemetry_dir
+        if not d:
+            return None
+        root = Path(d)
+        root.mkdir(parents=True, exist_ok=True)
+        spans_path = root / "spans.jsonl"
+        with open(spans_path, "w") as fh:
+            for job in self.store.jobs():
+                if job.span_tracer is None:
+                    continue
+                for span in job.span_tracer.export():
+                    fh.write(json.dumps(span, separators=(",", ":")))
+                    fh.write("\n")
+        metrics_path = root / "metrics.json"
+        self._gauges()
+        with open(metrics_path, "w") as fh:
+            json.dump(self.metrics.as_dict(), fh, indent=1)
+        return {"spans": str(spans_path), "metrics": str(metrics_path)}
 
     async def run_async(self, *, announce: Callable[[str], None]
                         | None = None) -> None:
@@ -300,6 +400,17 @@ class ExperimentService:
         self.metrics.gauge("service.jobs.running").set(
             float(self._running_jobs))
 
+    @staticmethod
+    def _log_ids(job: Job,
+                 extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Log ``extra`` fields: job id + the job's trace/span ids."""
+        out = dict(extra or {})
+        out["job_id"] = job.id
+        if job.root_span is not None:
+            out["trace_id"] = job.root_span.context.trace_id
+            out["span_id"] = job.root_span.context.span_id
+        return out
+
     # -- job execution --------------------------------------------------------
 
     @staticmethod
@@ -333,6 +444,7 @@ class ExperimentService:
         a torn cache behind.
         """
         tasks = [SweepTask.from_spec(c) for c in job.envelope.cells()]
+        t_run = time.monotonic()
 
         def progress(done: int, total: int, task, result,
                      from_cache: bool) -> None:
@@ -347,10 +459,21 @@ class ExperimentService:
                 "cell": {"mechanism": task.mechanism, "rate": task.rate,
                          "gated_fraction": task.gated_fraction,
                          "seed": task.seed}})
+            # live per-job telemetry rides the same SSE stream
+            elapsed = time.monotonic() - t_run
+            self._publish_threadsafe(job, "metrics", {
+                "done": done, "total": total,
+                "cache_hit_cells": job.cache_hit_cells,
+                "elapsed_s": round(elapsed, 6),
+                "cells_per_s": round(done / elapsed, 3) if elapsed else 0.0,
+                "queue_wait_s": job.queue_wait_s})
 
-        engine = ParallelSweep(use_cache=self._use_cache, cache=self._cache,
-                               progress=progress,
-                               executor=self._make_executor())
+        engine = ParallelSweep(
+            use_cache=self._use_cache, cache=self._cache,
+            progress=progress, executor=self._make_executor(),
+            span_tracer=job.span_tracer,
+            span_parent=(job.root_span.context
+                         if job.root_span is not None else None))
         results = engine.run(tasks)
         payload = self._result_payload(job.envelope, results)
         executed = len(tasks) - engine.last_cache_hits
@@ -366,12 +489,23 @@ class ExperimentService:
             if job.cancel_requested.is_set():
                 self._finish_job(job, CANCELLED)
                 continue
+            if job.enqueued_at is not None:
+                job.queue_wait_s = time.monotonic() - job.enqueued_at
+                self.metrics.histogram(
+                    "service.queue.wait_seconds",
+                    QUEUE_WAIT_BUCKETS).observe(job.queue_wait_s)
+                if job.queue_span is not None:
+                    job.queue_span.set_attribute("queue.wait_seconds",
+                                                 job.queue_wait_s)
+            job.end_queue_span()
             job.status = RUNNING
             job.started = time.time()
             job.started_seq = self.store.next_run_seq()
             self._running_jobs += 1
             self._gauges()
             self._publish(job, "status", {"status": RUNNING})
+            log.info("job started", extra=self._log_ids(job, {
+                "queue_wait_s": job.queue_wait_s}))
             try:
                 payload, executed, hits = await asyncio.to_thread(
                     self._run_job, job)
@@ -415,6 +549,20 @@ class ExperimentService:
             data["digest"] = job.result["digest"]
         if job.error is not None:
             data["error"] = job.error
+        job.end_queue_span()  # covers cancel-while-queued/parked paths
+        if job.root_span is not None and not job.root_span.ended:
+            job.root_span.set_attribute("job.status", status)
+            job.root_span.set_attribute("job.cells", job.total_cells)
+            job.root_span.set_attribute("job.cache_hit_cells",
+                                        job.cache_hit_cells)
+            if job.result is not None:
+                job.root_span.set_attribute("job.digest",
+                                            job.result["digest"])
+            job.root_span.end(
+                status="ok" if status in SUCCESS_STATES else "error")
+        log.info("job finished", extra=self._log_ids(job, {
+            "status": status, "done": job.done_cells,
+            "total": job.total_cells, "error": job.error}))
         self._publish(job, "end", data)
 
         followers = [self.store.get(fid) for fid in job.followers]
@@ -448,9 +596,12 @@ class ExperimentService:
         """All cached results for the job's cells, or None on any miss."""
         if not self._use_cache:
             return None
+        tracer = job.span_tracer
+        parent = job.root_span.context if job.root_span is not None else None
         results = []
         for cell in job.envelope.cells():
-            hit = self._cache.get(cell.cache_key())
+            hit = self._cache.get(cell.cache_key(), tracer=tracer,
+                                  parent=parent)
             if hit is None:
                 return None
             results.append(hit)
@@ -471,6 +622,12 @@ class ExperimentService:
         return True
 
     def _enqueue_primary(self, job: Job) -> None:
+        job.end_queue_span()  # a promoted follower leaves dedupe.parked
+        if job.span_tracer is not None and job.root_span is not None:
+            job.queue_span = job.span_tracer.start(
+                "queue.wait", parent=job.root_span.context,
+                attributes={"queue.priority": job.priority})
+        job.enqueued_at = time.monotonic()
         self.store.inflight[job.envelope.dedupe_key()] = job.id
         self.queue.put(job.id, job.priority)
         self._gauges()
@@ -479,29 +636,43 @@ class ExperimentService:
 
     def _submit(self, req: _Request) -> tuple[int, dict]:
         ctype = req.headers.get("content-type", "")
+        tracer = SpanTracer(capacity=self._span_capacity)
+        root = tracer.start("job", attributes={"http.method": req.method,
+                                               "http.path": req.path})
         try:
             text = req.body.decode()
         except UnicodeDecodeError as exc:
+            root.end(status="error")
             raise _HttpError(400, f"body is not valid UTF-8: {exc}") \
                 from None
         try:
-            envelope = JobEnvelope.from_payload(text, toml="toml" in ctype)
-            if "priority" in req.query:
-                try:
-                    priority = int(req.query["priority"])
-                except ValueError:
-                    raise SpecError(
-                        f"priority query parameter must be an integer, "
-                        f"got {req.query['priority']!r}") from None
-                envelope = JobEnvelope(spec=envelope.spec,
-                                       priority=priority,
-                                       tags=envelope.tags)
+            with tracer.span("submit.parse", parent=root.context,
+                             attributes={"bytes": len(req.body)}):
+                envelope = JobEnvelope.from_payload(text,
+                                                    toml="toml" in ctype)
+                if "priority" in req.query:
+                    try:
+                        priority = int(req.query["priority"])
+                    except ValueError:
+                        raise SpecError(
+                            f"priority query parameter must be an integer, "
+                            f"got {req.query['priority']!r}") from None
+                    envelope = JobEnvelope(spec=envelope.spec,
+                                           priority=priority,
+                                           tags=envelope.tags)
         except SpecError as exc:
+            # no job exists for a 422, so its trace dies with it
+            root.end(status="error")
             raise _HttpError(422, str(exc)) from None
         job = self.store.new_job(envelope)
+        job.span_tracer = tracer
+        job.root_span = root
+        root.set_attribute("job.id", job.id)
         self.metrics.counter("service.jobs.submitted").inc()
         self._publish(job, "status", {"status": QUEUED,
                                       "total": job.total_cells})
+        log.info("job submitted", extra=self._log_ids(job, {
+            "cells": job.total_cells, "priority": job.priority}))
         if self._try_serve_from_cache(job):
             return 201, job.snapshot()
         key = envelope.dedupe_key()
@@ -510,6 +681,13 @@ class ExperimentService:
             job.dedup_of = primary.id
             primary.followers.append(job.id)
             self.metrics.counter("service.dedupe.inflight_hits").inc()
+            # parked time is queue time: one span from park to promotion
+            # or store-serve, ended by _finish_job/_enqueue_primary
+            job.queue_span = tracer.start(
+                "dedupe.parked", parent=root.context,
+                attributes={"dedup_of": primary.id})
+            log.info("job deduplicated", extra=self._log_ids(job, {
+                "dedup_of": primary.id}))
         else:
             self._enqueue_primary(job)
         return 201, job.snapshot()
@@ -540,15 +718,31 @@ class ExperimentService:
                                   f"{job.status}", "detail": job.error}
         return 409, {"error": f"job {job.id} is still {job.status}"}
 
-    def _metrics_body(self, as_json: bool) -> tuple[bytes, str]:
+    def _metrics_body(self, fmt: str | None) -> tuple[bytes, str]:
         self._gauges()
-        if as_json:
+        if fmt == "json":
             return (json.dumps(self.metrics.as_dict(), indent=2).encode(),
                     "application/json")
+        if fmt == "prometheus":
+            return (self.metrics.prometheus_text(_METRIC_HELP).encode(),
+                    "text/plain; version=0.0.4; charset=utf-8")
         lines = [f"{name} {value}"
                  for name, value in
                  sorted(self.metrics.scalar_snapshot().items())]
         return ("\n".join(lines) + "\n").encode(), "text/plain"
+
+    def _trace_payload(self, job: Job, fmt: str | None) -> dict:
+        """The ``GET /jobs/<id>/trace`` body (span list or Chrome doc)."""
+        tracer = job.span_tracer
+        spans = tracer.export() if tracer is not None else []
+        if fmt == "chrome":
+            return spans_to_chrome_trace(spans)
+        trace_id = (job.root_span.context.trace_id
+                    if job.root_span is not None else None)
+        return {"job": job.id, "trace_id": trace_id,
+                "complete": job.terminal,
+                "dropped": tracer.dropped if tracer is not None else 0,
+                "span_count": len(spans), "spans": spans}
 
     def _bench(self) -> tuple[int, dict]:
         if not self._bench_source:
@@ -641,8 +835,8 @@ class ExperimentService:
             await send_json(200, {
                 "service": "repro-experiment-service",
                 "endpoints": ["/jobs", "/jobs/<id>", "/jobs/<id>/result",
-                              "/jobs/<id>/events", "/metrics", "/healthz",
-                              "/bench"]})
+                              "/jobs/<id>/events", "/jobs/<id>/trace",
+                              "/metrics", "/healthz", "/bench"]})
             return
         if segs == ["healthz"]:
             if req.method != "GET":
@@ -654,8 +848,7 @@ class ExperimentService:
         if segs == ["metrics"]:
             if req.method != "GET":
                 raise _HttpError(405, "metrics is GET-only")
-            body, ctype = self._metrics_body(
-                req.query.get("format") == "json")
+            body, ctype = self._metrics_body(req.query.get("format"))
             writer.write(self._response(200, body, ctype))
             await writer.drain()
             return
@@ -702,6 +895,10 @@ class ExperimentService:
             return
         if len(segs) == 3 and segs[2] == "events" and req.method == "GET":
             await self._stream_events(job, writer)
+            return
+        if len(segs) == 3 and segs[2] == "trace" and req.method == "GET":
+            await send_json(200, self._trace_payload(
+                job, req.query.get("format")))
             return
         raise _HttpError(404, f"no such endpoint: {req.path}")
 

@@ -101,6 +101,22 @@ class ServiceClient:
         """The plain-text ``name value`` exposition."""
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``?format=prometheus``)."""
+        return self._request("GET", "/metrics?format=prometheus")
+
+    def trace(self, job_id: str, *, chrome: bool = False) -> dict:
+        """The job's distributed span trace.
+
+        Default shape: ``{"job", "trace_id", "complete", "dropped",
+        "span_count", "spans": [...]}``; ``chrome=True`` returns a
+        Chrome-trace/Perfetto document instead.
+        """
+        path = f"/jobs/{job_id}/trace"
+        if chrome:
+            path += "?format=chrome"
+        return self._request("GET", path)
+
     def metric(self, name: str) -> float:
         """One scalar from the text exposition (0.0 when absent)."""
         for line in self.metrics_text().splitlines():

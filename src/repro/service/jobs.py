@@ -82,6 +82,22 @@ class Job:
     events: list[dict[str, Any]] = field(default_factory=list)
     #: live SSE subscribers (asyncio.Queue instances)
     subscribers: list[Any] = field(default_factory=list)
+    #: per-job distributed trace state (repro.obs.spans.SpanTracer /
+    #: Span); owned by the service, exposed via GET /jobs/<id>/trace
+    span_tracer: Any = None
+    root_span: Any = None
+    #: open queue.wait (or dedupe.parked) span, ended at dequeue
+    queue_span: Any = None
+    #: monotonic clock at enqueue; the queue-wait histogram observes
+    #: (dequeue - this)
+    enqueued_at: float | None = None
+    queue_wait_s: float | None = None
+
+    def end_queue_span(self) -> None:
+        """Close the open queue-phase span, if any (idempotent)."""
+        if self.queue_span is not None:
+            self.queue_span.end()
+            self.queue_span = None
 
     @property
     def priority(self) -> int:
@@ -110,6 +126,10 @@ class Job:
         }
         if self.result is not None:
             out["digest"] = self.result.get("digest")
+        if self.root_span is not None:
+            out["trace_id"] = self.root_span.context.trace_id
+        if self.queue_wait_s is not None:
+            out["queue_wait_s"] = self.queue_wait_s
         return out
 
 

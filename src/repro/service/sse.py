@@ -27,10 +27,16 @@ def encode_event(event_id: int, event: str, data: Any) -> bytes:
 def decode_stream(lines: Iterable[bytes | str]) -> Iterator[dict[str, Any]]:
     """Parse a stream of SSE lines back into event dicts.
 
-    Accepts bytes or str lines (trailing newlines optional); yields
-    ``{"id": int | None, "event": str, "data": parsed-json}`` per
-    blank-line-terminated event.  Unknown fields and comment lines
-    (``:`` prefix) are ignored, per the SSE spec.
+    Accepts bytes or str lines (trailing newlines optional, LF or
+    CRLF); yields ``{"id": int | None, "event": str, "data":
+    parsed-json}`` per blank-line-terminated event.  Multi-line
+    ``data:`` fields are joined with ``\\n`` per the SSE spec before
+    JSON parsing; unknown fields and comment lines (``:`` prefix) are
+    ignored.  A stream that ends *mid-event* — connection torn down
+    before the terminating blank line — flushes the pending event only
+    if its accumulated data parses as JSON; a truncated payload is
+    dropped rather than raised, since the completed events already
+    yielded are all the torn stream actually delivered.
     """
     event_id: int | None = None
     event = "message"
@@ -58,5 +64,8 @@ def decode_stream(lines: Iterable[bytes | str]) -> Iterator[dict[str, Any]]:
         elif name == "data":
             data_parts.append(value)
     if data_parts:  # stream ended without the final blank line
-        yield {"id": event_id, "event": event,
-               "data": json.loads("\n".join(data_parts))}
+        try:
+            data = json.loads("\n".join(data_parts))
+        except ValueError:
+            return  # truncated mid-event: drop the torn payload
+        yield {"id": event_id, "event": event, "data": data}

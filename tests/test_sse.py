@@ -1,0 +1,105 @@
+"""SSE wire-format edge cases (PR 9 satellite).
+
+The happy path (encode → decode round-trip over a live stream) is
+covered by the service tests; this file pins down the parser's
+behavior on the awkward inputs a real proxy or torn connection can
+produce: multi-line ``data:`` fields, CRLF line endings, comment
+lines, bare ``data`` fields with no space, and streams truncated
+mid-event.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.sse import decode_stream, encode_event
+
+
+def test_encode_decode_round_trip():
+    wire = encode_event(3, "progress", {"done": 2, "total": 5})
+    (ev,) = list(decode_stream(wire.splitlines(keepends=True)))
+    assert ev == {"id": 3, "event": "progress",
+                  "data": {"done": 2, "total": 5}}
+
+
+def test_multi_line_data_joined_with_newlines():
+    # Per the SSE spec, consecutive data: lines are one payload joined
+    # by \n.  A JSON document split across lines must reassemble.
+    doc = {"msg": "hello", "n": 1}
+    pretty = json.dumps(doc, indent=1)  # contains real newlines
+    lines = [f"data: {part}\n" for part in pretty.split("\n")]
+    stream = ["id: 0\n", "event: blob\n", *lines, "\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev["data"] == doc
+    assert ev["event"] == "blob"
+
+
+def test_crlf_line_endings():
+    stream = [b"id: 1\r\n", b"event: status\r\n",
+              b'data: {"state": "queued"}\r\n', b"\r\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev == {"id": 1, "event": "status",
+                  "data": {"state": "queued"}}
+
+
+def test_mixed_bytes_and_str_lines():
+    stream = [b"id: 2\n", "event: end\n", b"data: null\n", "\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev == {"id": 2, "event": "end", "data": None}
+
+
+def test_comment_and_unknown_fields_ignored():
+    stream = [": keep-alive\n", "retry: 1000\n", "id: 0\n",
+              "event: status\n", "data: 42\n", "\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev["data"] == 42
+
+
+def test_data_field_without_space_after_colon():
+    stream = ["id: 0\n", "event: e\n", "data:7\n", "\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev["data"] == 7
+
+
+def test_non_numeric_id_becomes_none():
+    stream = ["id: abc\n", "event: e\n", "data: 1\n", "\n"]
+    (ev,) = list(decode_stream(stream))
+    assert ev["id"] is None
+
+
+def test_blank_lines_between_events_are_harmless():
+    stream = ["\n", "id: 0\n", "data: 1\n", "\n", "\n",
+              "id: 1\n", "data: 2\n", "\n"]
+    events = list(decode_stream(stream))
+    assert [e["data"] for e in events] == [1, 2]
+    assert [e["id"] for e in events] == [0, 1]
+
+
+def test_truncated_mid_event_complete_json_flushes():
+    # Connection torn down before the terminating blank line, but the
+    # accumulated data parses: the parser flushes the pending event.
+    stream = ["id: 0\n", "data: 1\n", "\n",
+              "id: 1\n", "event: late\n", 'data: {"ok": true}\n']
+    events = list(decode_stream(stream))
+    assert len(events) == 2
+    assert events[1] == {"id": 1, "event": "late", "data": {"ok": True}}
+
+
+def test_truncated_mid_event_torn_json_dropped():
+    # Payload cut mid-JSON: the torn tail is dropped, completed events
+    # before it still come through, and nothing raises.
+    stream = ["id: 0\n", "data: 1\n", "\n",
+              "id: 1\n", 'data: {"ok": tr\n']
+    events = list(decode_stream(stream))
+    assert events == [{"id": 0, "event": "message", "data": 1}]
+
+
+def test_truncated_multiline_data_dropped():
+    # Multi-line payload where the final line never arrived.
+    pretty = json.dumps({"a": [1, 2, 3]}, indent=1).split("\n")
+    stream = ["id: 5\n"] + [f"data: {p}\n" for p in pretty[:-1]]  # no "}"
+    assert list(decode_stream(stream)) == []
+
+
+def test_empty_stream_yields_nothing():
+    assert list(decode_stream([])) == []
