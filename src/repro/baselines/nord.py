@@ -247,3 +247,32 @@ class NordMechanism(Mechanism):
     @property
     def gateable_routers(self) -> frozenset[int]:
         return frozenset(range(self.cfg.num_routers)) - self.protected
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, pkts) -> dict:
+        ring = self.ring
+        return {
+            "ring": {
+                "queues": [[[due, pkts.ref(pkt)] for due, pkt in q]
+                           for q in ring.queues],
+                "packets_carried": ring.packets_carried,
+                "hops_total": ring.hops_total,
+            },
+            "gated_cores": sorted(self.gated_cores),
+            "protected": sorted(self.protected),
+            "draining": sorted(self._draining),
+            "diversions": self.diversions,
+        }
+
+    def restore_state(self, data: dict, pkts) -> None:
+        ring = self.ring
+        rd = data["ring"]
+        ring.queues = [deque((due, pkts.get(pid)) for due, pid in q)
+                       for q in rd["queues"]]
+        ring.packets_carried = rd["packets_carried"]
+        ring.hops_total = rd["hops_total"]
+        self.gated_cores = frozenset(data["gated_cores"])
+        self.protected = frozenset(data["protected"])
+        self._draining = set(data["draining"])
+        self.diversions = data["diversions"]

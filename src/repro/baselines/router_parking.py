@@ -180,3 +180,34 @@ class RouterParkingMechanism(Mechanism):
     @property
     def gateable_routers(self) -> frozenset[int]:
         return frozenset(range(self.cfg.num_routers)) - self.protected
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, pkts) -> dict:
+        return {
+            "tables": {str(n): {str(dst): int(d) for dst, d in t.items()}
+                       for n, t in self.tables.items()},
+            "parked": sorted(self.parked),
+            "protected": sorted(self.protected),
+            "pending": (None if self._pending is None
+                        else sorted(self._pending)),
+            "stall_until": self._stall_until,
+            "reconfig_count": self.reconfig_count,
+            "reconfig_log": [list(t) for t in self.reconfig_log],
+            # only exists once a mid-run reconfiguration has started
+            "reconfig_start": getattr(self, "_reconfig_start", None),
+        }
+
+    def restore_state(self, data: dict, pkts) -> None:
+        self.tables = {int(n): {int(dst): Direction(d)
+                                for dst, d in t.items()}
+                       for n, t in data["tables"].items()}
+        self.parked = frozenset(data["parked"])
+        self.protected = frozenset(data["protected"])
+        self._pending = (None if data["pending"] is None
+                         else frozenset(data["pending"]))
+        self._stall_until = data["stall_until"]
+        self.reconfig_count = data["reconfig_count"]
+        self.reconfig_log = [tuple(t) for t in data["reconfig_log"]]
+        if data["reconfig_start"] is not None:
+            self._reconfig_start = data["reconfig_start"]

@@ -32,6 +32,10 @@ Commands
 ``spec``
     Validate, hash, or execute a declarative experiment/sweep spec file
     (``*.toml`` / ``*.json``; see ``docs/specs.md``).
+``checkpoint``
+    Inspect or resume a run checkpoint left behind by an interrupted
+    ``repro sweep`` / ``repro spec run --checkpoint-every`` invocation
+    (see ``docs/checkpoint.md``).
 
 Every ``choices=``/default in this module is derived from the component
 registries (:mod:`repro.registry`) — plugin components loaded via
@@ -87,6 +91,40 @@ def _parse_pattern_args(pairs: list[str]) -> dict:
         except json.JSONDecodeError:
             out[key] = value
     return out
+
+
+def _interrupted(command: str, args: argparse.Namespace) -> int:
+    """Shared Ctrl-C epilogue for checkpointable run commands.
+
+    The periodic checkpoints are written atomically *during* the run,
+    so by the time the interrupt lands the latest one is already on
+    disk; this only records a resume manifest next to them and tells
+    the user how to continue.  Exit code 130 = terminated by SIGINT.
+    """
+    import shlex
+
+    print(file=sys.stderr)
+    every = getattr(args, "checkpoint_every", 0)
+    words = sys.argv[1:] if sys.argv[1:] else [command]
+    resume = "repro " + shlex.join(words)
+    if every:
+        from pathlib import Path
+
+        from .atomicio import atomic_write_json
+
+        ckdir = Path(args.checkpoint_dir)
+        atomic_write_json(ckdir / "resume.json", {
+            "command": resume,
+            "checkpoint_dir": str(ckdir),
+            "checkpoint_every": every,
+        })
+        print(f"repro {command}: interrupted — latest periodic "
+              f"checkpoints kept under {ckdir}", file=sys.stderr)
+        print(f"resume with: {resume}", file=sys.stderr)
+    else:
+        print(f"repro {command}: interrupted (run with --checkpoint-every "
+              f"to make runs resumable)", file=sys.stderr)
+    return 130
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -168,18 +206,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if done == total:
             print(file=sys.stderr)
 
+    ck = {}
+    if args.checkpoint_every:
+        ck = {"checkpoint_every": args.checkpoint_every,
+              "checkpoint_dir": args.checkpoint_dir}
     if args.kernel == "batched":
         engine = BatchedSweep(args.batch_size, use_cache=not args.no_cache,
-                              progress=progress if args.verbose else None)
+                              progress=progress if args.verbose else None,
+                              **ck)
         workers = f"batch size {engine.batch_size}"
     else:
         engine = ParallelSweep(args.jobs, use_cache=not args.no_cache,
-                               progress=progress if args.verbose else None)
+                               progress=progress if args.verbose else None,
+                               **ck)
         workers = f"{engine.max_workers} workers"
-    series = sweep_fractions(mechs, fracs, pattern=args.pattern,
-                             rate=args.rate, seed=args.seed,
-                             warmup=args.warmup, measure=args.measure,
-                             engine=engine)
+    try:
+        series = sweep_fractions(mechs, fracs, pattern=args.pattern,
+                                 rate=args.rate, seed=args.seed,
+                                 warmup=args.warmup, measure=args.measure,
+                                 engine=engine)
+    except KeyboardInterrupt:
+        return _interrupted("sweep", args)
     print(f"sweep: {len(mechs) * len(fracs)} tasks, "
           f"{engine.last_cache_hits} cache hits, "
           f"executed {engine.last_mode} ({workers})")
@@ -419,12 +466,25 @@ def cmd_spec(args: argparse.Namespace) -> int:
     # run
     if args.kernel:
         spec = dataclasses.replace(spec, kernel=args.kernel)
+    ck = {}
+    if args.checkpoint_every:
+        ck = {"checkpoint_every": args.checkpoint_every,
+              "checkpoint_dir": args.checkpoint_dir}
     if isinstance(spec, ExperimentSpec):
         from .harness import run_spec
         from .harness.cache import result_to_dict, stable_digest
 
+        if ck and spec.workload is None:
+            from .harness.checkpoint import checkpoint_path
+            path = checkpoint_path(args.checkpoint_dir, spec)
+            if path.exists():
+                print(f"repro spec run: resuming from checkpoint {path}",
+                      file=sys.stderr)
+                ck["resume_from"] = path
         try:
-            r = run_spec(spec)
+            r = run_spec(spec, **ck)
+        except KeyboardInterrupt:
+            return _interrupted("spec run", args)
         except ValueError as exc:
             print(f"repro spec run: error: {exc}", file=sys.stderr)
             return 2
@@ -445,12 +505,16 @@ def cmd_spec(args: argparse.Namespace) -> int:
     from .harness.cache import result_to_dict, stable_digest
 
     if args.kernel == "batched":
-        engine = BatchedSweep(args.batch_size, use_cache=not args.no_cache)
+        engine = BatchedSweep(args.batch_size, use_cache=not args.no_cache,
+                              **ck)
         workers = f"batch size {engine.batch_size}"
     else:
-        engine = ParallelSweep(args.jobs, use_cache=not args.no_cache)
+        engine = ParallelSweep(args.jobs, use_cache=not args.no_cache, **ck)
         workers = f"{engine.max_workers} workers"
-    series = run_sweep_spec(spec, engine=engine)
+    try:
+        series = run_sweep_spec(spec, engine=engine)
+    except KeyboardInterrupt:
+        return _interrupted("spec run", args)
     cells = sum(len(rs) for rs in series.values())
     print(f"sweep: {cells} cells, {engine.last_cache_hits} cache hits, "
           f"executed {engine.last_mode} ({workers})")
@@ -464,6 +528,100 @@ def cmd_spec(args: argparse.Namespace) -> int:
         {m: [result_to_dict(r) for r in rs] for m, rs in series.items()})
     print()
     print(f"results digest     {digest}")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from .atomicio import read_json_checked
+    from .noc.snapshot import SnapshotError, check_schema
+
+    # never unlink on inspect/resume: a hand-named file is the user's
+    payload = read_json_checked(Path(args.file), label="checkpoint",
+                                check=check_schema, discard=False)
+    if payload is None:
+        print(f"repro checkpoint {args.checkpoint_command}: error: "
+              f"{args.file} is not a readable checkpoint", file=sys.stderr)
+        return 2
+    kind = payload.get("kind")
+
+    if args.checkpoint_command == "inspect":
+        print(f"file               {args.file}")
+        print(f"kind               {kind} (schema v{payload['schema']})")
+        if kind == "run_spec":
+            s = payload["spec"]
+            net = payload["net"]
+            print(f"spec               {s.get('mechanism')} "
+                  f"{s.get('pattern')} @ {s.get('rate')} "
+                  f"gated={s.get('gated_fraction')} seed={s.get('seed')}")
+            print(f"phase              {payload['phase']} "
+                  f"(done {payload['done']} cycles)")
+            print(f"sim cycle          {net['cycle']}")
+            print(f"in-flight packets  {len(net.get('packets', []))}")
+        elif kind == "run_spec_batch":
+            batch = payload["batch"]
+            nets = batch["nets"]
+            live = sum(1 for n in nets if n is not None)
+            finished = sum(1 for r in payload["results"] if r is not None)
+            print(f"replicas           {len(nets)} "
+                  f"({live} live, {finished} finished)")
+            print(f"sim cycle          {batch['cycle']}")
+            for i, s in enumerate(payload.get("specs", [])):
+                state = ("finished" if payload["results"][i] is not None
+                         else "draining" if payload["draining"][i]
+                         else "running")
+                print(f"  [{i}] {s.get('mechanism'):>8} "
+                      f"gated={s.get('gated_fraction')} "
+                      f"seed={s.get('seed')}  {state}")
+        return 0
+
+    # resume: finish the frozen run and print the usual result summary
+    from .harness.cache import result_to_dict, stable_digest
+    from .spec import ExperimentSpec, SpecError
+
+    ck = {}
+    if args.checkpoint_every:
+        ck = {"checkpoint_every": args.checkpoint_every,
+              "checkpoint_dir": Path(args.file).parent}
+    try:
+        if kind == "run_spec":
+            from .harness import run_spec
+            spec = ExperimentSpec.from_dict(payload["spec"])
+            r = run_spec(spec, resume_from=payload, **ck)
+            _print_result(r)
+            print(f"result digest      {stable_digest(result_to_dict(r))}")
+        elif kind == "run_spec_batch":
+            if "specs" not in payload:
+                print("repro checkpoint resume: error: batch checkpoint "
+                      "carries no spec definitions; resume by re-running "
+                      "the original sweep command", file=sys.stderr)
+                return 2
+            from .noc.batched import run_spec_batch
+            specs = [ExperimentSpec.from_dict(d) for d in payload["specs"]]
+            results = run_spec_batch(specs, resume_from=payload, **ck)
+            for s, r in zip(specs, results):
+                print(f"{s.mechanism:>9} gated={s.gated_fraction:.1f} "
+                      f"seed={s.seed}  "
+                      f"digest {stable_digest(result_to_dict(r))}")
+        else:
+            print(f"repro checkpoint resume: error: cannot resume a "
+                  f"{kind!r} checkpoint", file=sys.stderr)
+            return 2
+    except KeyboardInterrupt:
+        print("\nrepro checkpoint resume: interrupted; the checkpoint "
+              "file is kept — resume again with the same command",
+              file=sys.stderr)
+        return 130
+    except (SnapshotError, SpecError, ValueError) as exc:
+        print(f"repro checkpoint resume: error: {exc}", file=sys.stderr)
+        return 2
+    # consumed: the run completed, so the frozen state is spent
+    try:
+        os.unlink(args.file)
+    except OSError:
+        pass
     return 0
 
 
@@ -540,7 +698,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor, batch_size=args.batch_size,
         use_cache=not args.no_cache,
         bench_source=args.bench_snapshot or None,
-        telemetry_dir=args.telemetry_dir or None)
+        telemetry_dir=args.telemetry_dir or None,
+        state_dir=args.state_dir or None,
+        checkpoint_every=args.checkpoint_every)
 
     async def main() -> None:
         # graceful shutdown: SIGTERM/SIGINT stop the serve loop, which
@@ -610,6 +770,19 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_checkpoint_args(p: argparse.ArgumentParser) -> None:
+    from .harness.checkpoint import DEFAULT_CHECKPOINT_DIR
+
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a resumable checkpoint of each in-flight "
+                        "cell every N cycles (0 = off); an interrupted "
+                        "run resumes automatically when the same command "
+                        "is re-run (see docs/checkpoint.md)")
+    p.add_argument("--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+                   help=f"where checkpoint files live "
+                        f"(default {DEFAULT_CHECKPOINT_DIR})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -641,6 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bypass the on-disk result cache")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print per-task progress to stderr")
+    _add_checkpoint_args(p)
 
     p = sub.add_parser("parsec", help="full-system PARSEC runs (Fig 8c/d)")
     p.add_argument("--benchmarks", default="")
@@ -793,6 +967,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry-dir", default="",
                    help="flush span buffers + a metrics snapshot here on "
                         "shutdown (SIGTERM/SIGINT included)")
+    p.add_argument("--state-dir", default="",
+                   help="durable service state: the job journal (replayed "
+                        "at boot) and job checkpoints live here; without "
+                        "it the job table is in-memory only")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="cycles between job checkpoints under --state-dir "
+                        "(default 1000; 0 disables checkpointing, so a "
+                        "restart marks running jobs interrupted and "
+                        "DELETE ?preempt=true falls back to cell-boundary "
+                        "preemption)")
 
     p = sub.add_parser(
         "submit", help="submit a spec file to a running service")
@@ -831,6 +1016,21 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default 8; only with --kernel batched)")
             sp.add_argument("--no-cache", action="store_true",
                             help="bypass the on-disk result cache")
+            _add_checkpoint_args(sp)
+
+    p = sub.add_parser(
+        "checkpoint", help="inspect or resume run checkpoints")
+    csub = p.add_subparsers(dest="checkpoint_command", required=True)
+    cp = csub.add_parser(
+        "inspect", help="summarize a checkpoint file without running it")
+    cp.add_argument("file", help="ckpt-*.json left by an interrupted run")
+    cp = csub.add_parser(
+        "resume", help="finish the run a checkpoint froze and print its "
+                       "result (digest-identical to an uninterrupted run)")
+    cp.add_argument("file", help="ckpt-*.json left by an interrupted run")
+    cp.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                    help="keep writing checkpoints every N cycles while "
+                         "finishing (default: off — run to completion)")
     return ap
 
 
@@ -848,6 +1048,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "bench": cmd_bench,
         "spec": cmd_spec,
+        "checkpoint": cmd_checkpoint,
         "verify": cmd_verify,
         "serve": cmd_serve,
         "submit": cmd_submit,

@@ -72,6 +72,14 @@ class FlovMechanism(Mechanism):
         all_nodes = frozenset(range(self.cfg.num_routers))
         return all_nodes - self.hsc.aon_nodes - self.hsc.protected
 
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, pkts) -> dict:
+        return {"hsc": self.hsc.snapshot_state()}
+
+    def restore_state(self, data: dict, pkts) -> None:
+        self.hsc.restore_state(data["hsc"])
+
 
 class RFlovMechanism(FlovMechanism):
     """Restricted FLOV: no two adjacent routers in a row/column may be

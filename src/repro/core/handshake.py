@@ -841,3 +841,86 @@ class HandshakeController:
             self._try_wakeups(now)
         elif r.state == PowerState.DRAINING:
             self._abort_drain(r, now, reason="wake_req")
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    @staticmethod
+    def _encode_msg(msg: Msg) -> dict:
+        from ..noc.snapshot import encode_value
+        return {"kind": msg.kind, "src": msg.src,
+                "direction": (None if msg.direction is None
+                              else int(msg.direction)),
+                "payload": [encode_value(v) for v in msg.payload]}
+
+    @staticmethod
+    def _decode_msg(data: dict) -> Msg:
+        from ..noc.snapshot import decode_value
+        return Msg(kind=data["kind"], src=data["src"],
+                   direction=(None if data["direction"] is None
+                              else Direction(data["direction"])),
+                   payload=tuple(decode_value(v) for v in data["payload"]))
+
+    def snapshot_state(self) -> dict:
+        # The heap is serialized sorted: entries are totally ordered by
+        # their unique seq, so any valid arrangement pops identically —
+        # heapify on restore rebuilds an equivalent heap.
+        return {
+            "heap": [[arr, seq, dst, self._encode_msg(m)]
+                     for arr, seq, dst, m in sorted(self._heap)],
+            "seq": self._seq,
+            "token": self._token,
+            "drainers": {str(n): [p.started, p.token, sorted(p.pending)]
+                         for n, p in self._drainers.items()},
+            "wakers": {str(n): [p.started, p.token, sorted(p.pending),
+                                p.timer_end]
+                       for n, p in self._wakers.items()},
+            "obligations": [[obs, req, int(d), kind, tok]
+                            for (obs, req), (d, kind, tok)
+                            in self._obligations.items()],
+            "wake_req_sent": {str(n): c
+                              for n, c in self._wake_req_sent.items()},
+            "want_wake": {str(n): c for n, c in self._want_wake.items()},
+            "drain_backoff": {str(n): c
+                              for n, c in self._drain_backoff.items()},
+            "gated_cores": sorted(self.gated_cores),
+            "gated_index": {str(n): i
+                            for n, i in self._gated_index.items()},
+            "drain_candidates": {str(i): r.node
+                                 for i, r in self._drain_candidates.items()},
+            "cand_skip": {str(n): list(v)
+                          for n, v in self._cand_skip.items()},
+            "protected": sorted(self.protected),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self._heap = [(arr, seq, dst, self._decode_msg(m))
+                      for arr, seq, dst, m in data["heap"]]
+        heapq.heapify(self._heap)
+        self._seq = data["seq"]
+        self._token = data["token"]
+        self._drainers = {
+            int(n): DrainProgress(started=v[0], token=v[1],
+                                  pending=set(v[2]))
+            for n, v in data["drainers"].items()}
+        self._wakers = {
+            int(n): WakeProgress(started=v[0], token=v[1],
+                                 pending=set(v[2]), timer_end=v[3])
+            for n, v in data["wakers"].items()}
+        self._obligations = {
+            (obs, req): (Direction(d), kind, tok)
+            for obs, req, d, kind, tok in data["obligations"]}
+        self._wake_req_sent = {int(n): c
+                               for n, c in data["wake_req_sent"].items()}
+        self._want_wake = {int(n): c for n, c in data["want_wake"].items()}
+        self._drain_backoff = {int(n): c
+                               for n, c in data["drain_backoff"].items()}
+        self.gated_cores = frozenset(data["gated_cores"])
+        self._gated_index = {int(n): i
+                             for n, i in data["gated_index"].items()}
+        routers = self.net.routers
+        self._drain_candidates = {
+            int(i): routers[node]
+            for i, node in data["drain_candidates"].items()}
+        self._cand_skip = {int(n): (v[0], v[1])
+                           for n, v in data["cand_skip"].items()}
+        self.protected = frozenset(data["protected"])

@@ -82,6 +82,27 @@ class EpochGating(GatingSchedule):
         return current
 
 
+# -- SimSnapshot protocol ------------------------------------------------------
+
+def schedule_to_epochs(schedule: GatingSchedule) -> list[list]:
+    """Flatten any schedule into explicit ``[[start, gated ids], ...]``.
+
+    Every schedule is fully described by its gated set at cycle 0 plus
+    one set per change point, so snapshots need no per-class codecs —
+    restore always rebuilds an :class:`EpochGating` with identical
+    ``gated_at`` behavior (set *identity* differs, which is why
+    consumers caching ``gated_at`` results by identity must reset their
+    caches on restore).
+    """
+    starts = (0, *schedule.change_points)
+    return [[s, sorted(schedule.gated_at(s))] for s in starts]
+
+
+def schedule_from_epochs(data: Sequence[Sequence]) -> EpochGating:
+    """Inverse of :func:`schedule_to_epochs`."""
+    return EpochGating([(int(s), frozenset(g)) for s, g in data])
+
+
 def random_epochs(num_nodes: int, fractions: Sequence[float],
                   boundaries: Sequence[int], *, seed: int = 1,
                   protect: Iterable[int] = ()) -> EpochGating:

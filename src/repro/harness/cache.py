@@ -36,13 +36,16 @@ import hashlib
 import json
 import os
 import shutil
-import tempfile
-import warnings
 from pathlib import Path
 from typing import Any
 
+from ..atomicio import atomic_write_json, read_json_checked
 from ..noc.stats import LatencyBreakdown
 from .runner import ExperimentResult
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "atomic_write_json",
+           "cache_enabled", "default_cache_dir", "result_from_dict",
+           "result_to_dict", "spec_digest", "stable_digest"]
 
 #: bump when the ExperimentResult schema or simulator semantics change
 #: incompatibly; old cache entries are then ignored.
@@ -54,32 +57,6 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 def cache_enabled() -> bool:
     """False when ``REPRO_NO_CACHE`` is set (cache fully bypassed)."""
     return not os.environ.get("REPRO_NO_CACHE")
-
-
-def atomic_write_json(path: Path, payload: Any) -> None:
-    """Write ``payload`` as JSON to ``path`` atomically.
-
-    The document is serialized to a temp file in the destination
-    directory, fsync'd, then ``os.replace``-d over ``path`` — so a
-    reader (or a parallel worker racing to the same entry) only ever
-    sees either the old complete file or the new complete file, never a
-    truncation, even if the writer is killed mid-write or the machine
-    loses power right after the rename.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh, separators=(",", ":"))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 def default_cache_dir() -> str:
@@ -204,28 +181,21 @@ class ResultCache:
         return self._get(key)
 
     def _get(self, key: dict[str, Any]) -> ExperimentResult | None:
-        path = self.path_for(key)
-        if not path.is_file():
-            self.misses += 1
-            return None
-        try:
-            with open(path) as fh:
-                payload = json.load(fh)
+        decoded: list[ExperimentResult] = []
+
+        def check(payload: Any) -> None:
             if payload.get("schema") != CACHE_SCHEMA_VERSION:
                 raise ValueError(f"schema {payload.get('schema')!r} != "
                                  f"{CACHE_SCHEMA_VERSION}")
-            result = result_from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            warnings.warn(f"discarding corrupted cache entry {path}: {exc}",
-                          RuntimeWarning, stacklevel=2)
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            decoded.append(result_from_dict(payload["result"]))
+
+        payload = read_json_checked(self.path_for(key), label="cache entry",
+                                    check=check)
+        if payload is None or not decoded:
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return decoded[0]
 
     def put(self, key: dict[str, Any], result: ExperimentResult) -> Path:
         """Atomically persist ``result`` under ``key``; returns the path."""

@@ -123,6 +123,17 @@ class SweepTask:
     #: must not change what it computes or where it is stored
     span_context: Any | None = field(default=None, compare=False,
                                      repr=False)
+    #: checkpoint cadence/location stamped by the engine (or set
+    #: directly); excluded from equality and the cache key — a
+    #: checkpointed run computes the same result as an uninterrupted one
+    checkpoint_every: int | None = field(default=None, compare=False,
+                                         repr=False)
+    checkpoint_dir: Any | None = field(default=None, compare=False,
+                                       repr=False)
+    #: zero-arg preemption poll, checked at checkpoint boundaries; only
+    #: honored by in-process executors (a callable does not pickle into
+    #: pool workers), so the engine stamps it selectively
+    interrupt: Any | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_spec(cls, spec: ExperimentSpec) -> "SweepTask":
@@ -174,7 +185,10 @@ class SweepTask:
                          schedule=self.schedule,
                          overrides=dict(self.overrides),
                          pattern_kwargs=dict(self.pattern_kwargs),
-                         span_context=self.span_context)
+                         span_context=self.span_context,
+                         checkpoint_every=self.checkpoint_every,
+                         checkpoint_dir=self.checkpoint_dir,
+                         interrupt=self.interrupt)
         base = getattr(self, "_spec", None)
         if base is not None:
             task._spec = base.resolved()
@@ -197,8 +211,27 @@ class SweepTask:
         return self.spec().cache_key()
 
     def run(self) -> ExperimentResult:
-        """Execute the task in the current process."""
-        return run_spec(self.spec(), schedule=self.schedule)
+        """Execute the task in the current process.
+
+        With a checkpoint cadence set, the run auto-resumes from an
+        existing checkpoint for this spec (left behind by an interrupted
+        run) and checkpoints periodically; ``run_spec`` removes the file
+        on completion.
+        """
+        return run_spec(self.spec(), schedule=self.schedule,
+                        **self._checkpoint_kwargs())
+
+    def _checkpoint_kwargs(self) -> dict[str, Any]:
+        """``run_spec`` checkpoint keywords, with auto-resume from an
+        existing checkpoint file ({} when checkpointing is off)."""
+        if not self.checkpoint_every:
+            return {}
+        from .checkpoint import checkpoint_path
+        path = checkpoint_path(self.checkpoint_dir, self.spec())
+        return {"checkpoint_every": self.checkpoint_every,
+                "checkpoint_dir": self.checkpoint_dir,
+                "resume_from": path if path.exists() else None,
+                "interrupt": self.interrupt}
 
 
 def _execute_task(task: SweepTask) -> Any:
@@ -228,7 +261,8 @@ def _run_traced(task: SweepTask) -> Any:
             "cell.rate": task.rate,
             "cell.gated_fraction": task.gated_fraction,
             "cell.seed": task.seed}) as sp:
-        result = run_spec(task.spec(), schedule=task.schedule, profiler=prof)
+        result = run_spec(task.spec(), schedule=task.schedule, profiler=prof,
+                          **task._checkpoint_kwargs())
         for phase, ns in prof.phase_ns().items():
             sp.set_attribute(f"kernel.{phase}_ns", ns)
         sp.set_attribute("kernel.cycles", prof.cycles)
@@ -449,9 +483,30 @@ class BatchedExecutor:
                     import time as _time
                     t_start = _time.time_ns()
                     p0 = _time.perf_counter_ns()
+                specs = [tasks[i].spec() for i in chunk]
+                # checkpointing is batch-level: one snapshot file keyed
+                # by the chunk's member digests, auto-resumed when the
+                # same chunk re-runs after an interruption
+                ck_every = next((tasks[i].checkpoint_every for i in chunk
+                                 if tasks[i].checkpoint_every), None)
+                resume = None
+                ck_dir = None
+                if ck_every:
+                    from .checkpoint import batch_checkpoint_path
+                    ck_dir = next((tasks[i].checkpoint_dir for i in chunk
+                                   if tasks[i].checkpoint_dir is not None),
+                                  None)
+                    path = batch_checkpoint_path(ck_dir, specs)
+                    if path.exists():
+                        resume = path
                 batch_results = run_spec_batch(
-                    [tasks[i].spec() for i in chunk],
-                    schedules=[tasks[i].schedule for i in chunk])
+                    specs,
+                    schedules=[tasks[i].schedule for i in chunk],
+                    checkpoint_every=ck_every, checkpoint_dir=ck_dir,
+                    resume_from=resume,
+                    interrupt=next((tasks[i].interrupt for i in chunk
+                                    if tasks[i].interrupt is not None),
+                                   None))
                 self.last_batches += 1
                 if traced:
                     # replicas step in lockstep inside one kernel loop,
@@ -524,6 +579,19 @@ class ParallelSweep:
     span_parent:
         Parent :class:`~repro.obs.spans.SpanContext` for the run span
         (the service passes its per-job root here).
+    checkpoint_every / checkpoint_dir:
+        When set, every computed (cache-missed) task checkpoints its
+        simulation state every N cycles into ``checkpoint_dir`` and
+        auto-resumes from a checkpoint an interrupted earlier run left
+        behind; completed cells remove their checkpoint files.  Tasks
+        carrying their own cadence keep it.
+    interrupt:
+        Zero-arg preemption poll, checked at every checkpoint boundary;
+        returning true stops the run with
+        :class:`~repro.harness.checkpoint.CheckpointInterrupt` after
+        persisting the checkpoint.  Only honored by in-process
+        executors (serial/batched) — a bound callable does not pickle
+        into pool workers, where preemption stays at task granularity.
     """
 
     def __init__(self, max_workers: int | None = None, *,
@@ -533,7 +601,10 @@ class ParallelSweep:
                  progress: ProgressFn | None = None,
                  executor: Executor | None = None,
                  span_tracer: Any | None = None,
-                 span_parent: Any | None = None) -> None:
+                 span_parent: Any | None = None,
+                 checkpoint_every: int | None = None,
+                 checkpoint_dir: Any | None = None,
+                 interrupt: Callable[[], bool] | None = None) -> None:
         self.max_workers = (default_jobs() if max_workers is None
                             else max(1, int(max_workers)))
         self.use_cache = use_cache
@@ -547,6 +618,9 @@ class ParallelSweep:
         self.progress = progress
         self.span_tracer = span_tracer
         self.span_parent = span_parent
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.interrupt = interrupt
         #: how the last run() executed its computed tasks
         self.last_mode: str = "none"
         #: cache hits observed during the last run()
@@ -598,6 +672,13 @@ class ParallelSweep:
                 else:
                     if tracer is not None:
                         task.span_context = parent_ctx.child()
+                    if self.checkpoint_every and task.checkpoint_every is None:
+                        task.checkpoint_every = self.checkpoint_every
+                        task.checkpoint_dir = self.checkpoint_dir
+                        if self.interrupt is not None and isinstance(
+                                self.executor,
+                                (SerialExecutor, BatchedExecutor)):
+                            task.interrupt = self.interrupt
                     pending.append(i)
             self.last_cache_hits = total - len(pending)
 
@@ -688,11 +769,17 @@ class BatchedSweep(ParallelSweep):
                  cache: ResultCache | None = None,
                  progress: ProgressFn | None = None,
                  span_tracer: Any | None = None,
-                 span_parent: Any | None = None) -> None:
+                 span_parent: Any | None = None,
+                 checkpoint_every: int | None = None,
+                 checkpoint_dir: Any | None = None,
+                 interrupt: Callable[[], bool] | None = None) -> None:
         super().__init__(max_workers=1, use_cache=use_cache, cache=cache,
                          progress=progress,
                          executor=BatchedExecutor(batch_size),
-                         span_tracer=span_tracer, span_parent=span_parent)
+                         span_tracer=span_tracer, span_parent=span_parent,
+                         checkpoint_every=checkpoint_every,
+                         checkpoint_dir=checkpoint_dir,
+                         interrupt=interrupt)
 
     @property
     def batch_size(self) -> int:

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 from ..gating.schedule import GatingSchedule, StaticGating
 from ..noc.network import Network
+from ..noc.snapshot import (SNAPSHOT_SCHEMA_VERSION, SnapshotError,
+                            check_schema)
 from ..noc.stats import LatencyBreakdown
 from ..spec import ExperimentSpec
 from ..traffic.generator import TrafficGenerator
@@ -149,7 +151,11 @@ def run_spec(spec: ExperimentSpec, *,
              trace_kinds=None,
              sampler=None, metrics_every: int | None = None,
              metrics_path: str | None = None,
-             profiler=None) -> ExperimentResult:
+             profiler=None,
+             checkpoint_every: int | None = None,
+             checkpoint_dir=None,
+             resume_from=None,
+             interrupt=None) -> ExperimentResult:
     """Execute an :class:`~repro.spec.ExperimentSpec`.
 
     The spec compiles to exactly the calls the legacy
@@ -162,6 +168,23 @@ def run_spec(spec: ExperimentSpec, *,
     ``gated_fraction``.  The observability keywords mirror
     :func:`run_synthetic` — they are runtime attachments, not part of
     the spec or its cache key.
+
+    Checkpointing: ``checkpoint_every=N`` writes an atomic snapshot of
+    the complete simulation state into ``checkpoint_dir`` every N
+    cycles (and removes it when the run completes).  ``resume_from``
+    (a checkpoint file path or an already-loaded payload dict)
+    continues such a run where it stopped; the golden contract —
+    enforced by ``tests/test_checkpoint.py`` — is that *run-to-horizon*
+    and *checkpoint + restore + run-remainder* produce identical
+    results, on either kernel.  A missing or unreadable checkpoint
+    file downgrades to a fresh run with a warning; a payload for a
+    different spec or a stale schema raises
+    :class:`~repro.noc.snapshot.SnapshotError`.  ``interrupt`` (a
+    zero-arg callable polled at every checkpoint boundary) stops the
+    run cooperatively: when it returns true, the just-written
+    checkpoint is left in place and
+    :class:`~repro.harness.checkpoint.CheckpointInterrupt` is raised —
+    the service's preemption path.
 
     Specs with ``workload=`` set describe a full-system PARSEC run and
     return a :class:`~repro.fullsystem.FullSystemResult` instead.
@@ -200,28 +223,107 @@ def run_spec(spec: ExperimentSpec, *,
         net.attach_metrics(sampler)
     if profiler is not None:
         net.attach_profiler(profiler)
-    if schedule is None:
-        schedule = spec.build_schedule(cfg)
-    if schedule is None:
-        schedule = StaticGating(cfg.num_routers, gated_fraction, seed=seed)
-    net.set_gating(schedule)
     gen = TrafficGenerator(net, get_pattern(pattern, cfg,
                                             **dict(spec.pattern_kwargs)),
                            rate, seed=seed)
 
-    gen.run(warmup)
-    net.begin_measurement()
-    gen.run(measure)
-    # snapshot energy for exactly the measured window, then let in-flight
-    # measured packets finish (latency stats are keyed by create time)
-    rep = net.accountant.report(warmup + measure)
-    if drain:
-        idle = 0
-        for _ in range(20_000):
+    # -- checkpoint / resume bookkeeping ----------------------------------
+    payload = None
+    if resume_from is not None:
+        if isinstance(resume_from, dict):
+            payload = resume_from
+            check_schema(payload, kind="run_spec")
+        else:
+            from .checkpoint import load_checkpoint
+            payload = load_checkpoint(resume_from, kind="run_spec")
+    phase, done = "warmup", 0
+    drain_steps = drain_idle = 0
+    rep = None
+    if payload is not None:
+        from ..power.accounting import EnergyReport
+        if payload.get("spec_key") != spec.cache_key():
+            raise SnapshotError(
+                "checkpoint was taken for a different experiment spec")
+        net.restore_state(payload["net"])
+        gen.restore_state(payload["traffic"])
+        phase, done = payload["phase"], payload["done"]
+        drain_steps = payload["drain_steps"]
+        drain_idle = payload["drain_idle"]
+        if payload["report"] is not None:
+            rep = EnergyReport(**payload["report"])
+    else:
+        # restored runs install the snapshot's flattened schedule instead
+        # (mechanism reactions to past changes live in component state,
+        # so set_gating's on_schedule_change must not fire again)
+        if schedule is None:
+            schedule = spec.build_schedule(cfg)
+        if schedule is None:
+            schedule = StaticGating(cfg.num_routers, gated_fraction,
+                                    seed=seed)
+        net.set_gating(schedule)
+
+    ckpt_path = None
+    if checkpoint_every:
+        from .checkpoint import (CheckpointInterrupt, checkpoint_path,
+                                 write_checkpoint)
+        ckpt_path = checkpoint_path(checkpoint_dir, spec)
+
+        def save(phase: str, done: int, rep) -> None:
+            write_checkpoint(ckpt_path, {
+                "schema": SNAPSHOT_SCHEMA_VERSION,
+                "kind": "run_spec",
+                "spec": spec.to_dict(),
+                "spec_key": spec.cache_key(),
+                "phase": phase,
+                "done": done,
+                "drain_steps": drain_steps,
+                "drain_idle": drain_idle,
+                "report": None if rep is None else {
+                    "cycles": rep.cycles, "static_j": rep.static_j,
+                    "dynamic_j": rep.dynamic_j, "gating_j": rep.gating_j},
+                "traffic": gen.snapshot_state(),
+                "net": net.snapshot_state(),
+            })
+            if interrupt is not None and interrupt():
+                raise CheckpointInterrupt(ckpt_path)
+
+    # -- phase-tracked simulation loop ------------------------------------
+    # equivalent to gen.run(warmup); begin_measurement(); gen.run(measure);
+    # report(); drain — with checkpoints allowed between any two cycles
+    if phase == "warmup":
+        for i in range(done, warmup):
+            gen.tick()
             net.step()
-            idle = idle + 1 if net.network_drained() else 0
-            if idle > 8:
+            if ckpt_path is not None and net.cycle % checkpoint_every == 0:
+                save("warmup", i + 1, None)
+        net.begin_measurement()
+        phase, done = "measure", 0
+    if phase == "measure":
+        for i in range(done, measure):
+            gen.tick()
+            net.step()
+            if ckpt_path is not None and net.cycle % checkpoint_every == 0:
+                save("measure", i + 1, None)
+        # snapshot energy for exactly the measured window, then let
+        # in-flight measured packets finish (latency stats are keyed by
+        # create time)
+        rep = net.accountant.report(warmup + measure)
+        phase = "drain"
+    if drain and phase == "drain":
+        while drain_steps < 20_000:
+            net.step()
+            drain_steps += 1
+            drain_idle = drain_idle + 1 if net.network_drained() else 0
+            if drain_idle > 8:
                 break
+            if ckpt_path is not None and net.cycle % checkpoint_every == 0:
+                save("drain", 0, rep)
+    if ckpt_path is not None:
+        # completed: the checkpoint would resume into a finished run
+        try:
+            os.unlink(ckpt_path)
+        except OSError:
+            pass
 
     stats = net.stats
     power = rep.power_w(net.pcfg.cycle_time_s)

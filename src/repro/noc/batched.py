@@ -55,6 +55,7 @@ a kernel name is accepted; batching across replicas is orchestrated by
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -64,6 +65,8 @@ from ..spec import ExperimentSpec, SpecError
 from ..traffic.generator import TrafficGenerator
 from ..traffic.patterns import get_pattern
 from .network import Network
+from .snapshot import (SNAPSHOT_SCHEMA_VERSION, SnapshotError, check_schema,
+                       require)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..harness.runner import ExperimentResult
@@ -147,6 +150,48 @@ class ReplicaBatch:
         if not self._retired[idx]:
             self._retired[idx] = True
             self._live.remove(idx)
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Per-replica network + traffic snapshots (retired -> None).
+
+        Shared wheels are derived state, same as in the solo kernels:
+        member restores re-file every in-flight channel, so they are
+        never serialized."""
+        return {
+            "cycle": self.cycle,
+            "nets": [None if self._retired[i] else net.snapshot_state()
+                     for i, net in enumerate(self._nets)],
+            "traffic": [None if self._retired[i] or gen is None
+                        else gen.snapshot_state()
+                        for i, gen in enumerate(self._gens)],
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Rebuild a mid-run batch onto freshly :meth:`add`-ed members.
+
+        The shared wheels are cleared once here; each live member then
+        restores with ``clear_wheels=False`` and reschedules its
+        channels back into them (restores mutate channels in place, so
+        the owner tags stamped by :meth:`add` survive).  A ``None``
+        entry marks a replica that had already retired — its network is
+        left at cycle 0 and never stepped again.
+        """
+        require(len(data["nets"]) == len(self._nets),
+                f"snapshot holds {len(data['nets'])} replicas, "
+                f"batch has {len(self._nets)}")
+        self._flit_wheel.clear()
+        self._credit_wheel.clear()
+        for i, net_state in enumerate(data["nets"]):
+            if net_state is None:
+                self.retire(i)
+            else:
+                self._nets[i].restore_state(net_state, clear_wheels=False)
+                gen_state = data["traffic"][i]
+                if gen_state is not None:
+                    self._gens[i].restore_state(gen_state)
+        self.cycle = data["cycle"]
 
     # -- lockstep cycle -------------------------------------------------------
 
@@ -234,7 +279,10 @@ class ReplicaBatch:
 
 def run_spec_batch(specs: Sequence[ExperimentSpec], *,
                    schedules: Sequence[GatingSchedule | None] | None = None,
-                   ) -> "list[ExperimentResult]":
+                   checkpoint_every: int | None = None,
+                   checkpoint_dir=None,
+                   resume_from=None,
+                   interrupt=None) -> "list[ExperimentResult]":
     """Run B experiment specs as one :class:`ReplicaBatch` invocation.
 
     Returns one :class:`~repro.harness.runner.ExperimentResult` per
@@ -243,6 +291,15 @@ def run_spec_batch(specs: Sequence[ExperimentSpec], *,
     transitions at the same per-replica cycles.  Replicas may have
     mixed rates, fractions, seeds and horizons; early-finishing
     replicas retire without perturbing the rest.
+
+    Checkpointing mirrors :func:`~repro.harness.runner.run_spec`:
+    ``checkpoint_every=N`` writes one atomic batch-level snapshot (all
+    live replicas + lifecycle arrays) every N lockstep cycles into
+    ``checkpoint_dir`` and removes it on completion; ``resume_from`` (a
+    path or loaded payload) continues where the batch stopped, with the
+    same digest-equality contract per replica; ``interrupt`` (polled at
+    checkpoint boundaries) stops the whole batch cooperatively via
+    :class:`~repro.harness.checkpoint.CheckpointInterrupt`.
     """
     from ..harness.runner import ExperimentResult
 
@@ -250,6 +307,15 @@ def run_spec_batch(specs: Sequence[ExperimentSpec], *,
         schedules = [None] * len(specs)
     if len(schedules) != len(specs):
         raise SpecError("schedules must align 1:1 with specs")
+
+    payload = None
+    if resume_from is not None:
+        if isinstance(resume_from, dict):
+            payload = resume_from
+            check_schema(payload, kind="run_spec_batch")
+        else:
+            from ..harness.checkpoint import load_checkpoint
+            payload = load_checkpoint(resume_from, kind="run_spec_batch")
 
     batch = ReplicaBatch()
     resolved: list[ExperimentSpec] = []
@@ -260,12 +326,15 @@ def run_spec_batch(specs: Sequence[ExperimentSpec], *,
         spec = spec.resolved()
         cfg = spec.config()
         net = Network(cfg, keep_samples=spec.keep_samples, kernel="batched")
-        if schedule is None:
-            schedule = spec.build_schedule(cfg)
-        if schedule is None:
-            schedule = StaticGating(cfg.num_routers, spec.gated_fraction,
-                                    seed=spec.seed)
-        net.set_gating(schedule)
+        if payload is None:
+            # restored runs install each snapshot's flattened schedule
+            # instead (see Network.restore_state)
+            if schedule is None:
+                schedule = spec.build_schedule(cfg)
+            if schedule is None:
+                schedule = StaticGating(cfg.num_routers, spec.gated_fraction,
+                                        seed=spec.seed)
+            net.set_gating(schedule)
         gen = TrafficGenerator(net, get_pattern(spec.pattern, cfg,
                                                 **dict(spec.pattern_kwargs)),
                                spec.rate, seed=spec.seed)
@@ -283,6 +352,53 @@ def run_spec_batch(specs: Sequence[ExperimentSpec], *,
     steps = np.zeros(n, dtype=np.int64)
     reports = [None] * n
     tick = [True] * n
+
+    from ..harness.cache import spec_digest
+    spec_keys = [spec_digest(s) for s in resolved]
+    if payload is not None:
+        from ..harness.cache import result_from_dict
+        from ..power.accounting import EnergyReport
+        if payload["spec_keys"] != spec_keys:
+            raise SnapshotError("checkpoint was taken for a different "
+                                "batch of experiment specs")
+        batch.restore_state(payload["batch"])
+        draining = np.array(payload["draining"], dtype=bool)
+        idle = np.array(payload["idle"], dtype=np.int64)
+        steps = np.array(payload["steps"], dtype=np.int64)
+        tick = list(payload["tick"])
+        reports = [None if r is None else EnergyReport(**r)
+                   for r in payload["reports"]]
+        results = [None if r is None else result_from_dict(r)
+                   for r in payload["results"]]
+
+    ckpt_path = None
+    if checkpoint_every:
+        from ..harness.cache import result_to_dict
+        from ..harness.checkpoint import (CheckpointInterrupt,
+                                          batch_checkpoint_path,
+                                          write_checkpoint)
+        ckpt_path = batch_checkpoint_path(checkpoint_dir, resolved)
+
+        def save() -> None:
+            write_checkpoint(ckpt_path, {
+                "schema": SNAPSHOT_SCHEMA_VERSION,
+                "kind": "run_spec_batch",
+                "spec_keys": spec_keys,
+                "specs": [s.to_dict() for s in resolved],
+                "batch": batch.snapshot_state(),
+                "draining": draining.tolist(),
+                "idle": idle.tolist(),
+                "steps": steps.tolist(),
+                "tick": list(tick),
+                "reports": [None if r is None else {
+                    "cycles": r.cycles, "static_j": r.static_j,
+                    "dynamic_j": r.dynamic_j, "gating_j": r.gating_j}
+                    for r in reports],
+                "results": [None if r is None else result_to_dict(r)
+                            for r in results],
+            })
+            if interrupt is not None and interrupt():
+                raise CheckpointInterrupt(ckpt_path)
 
     def finish(i: int) -> None:
         spec = resolved[i]
@@ -346,5 +462,15 @@ def run_spec_batch(specs: Sequence[ExperimentSpec], *,
             if idle[i] > DRAIN_IDLE_STREAK or steps[i] >= DRAIN_MAX_STEPS:
                 draining[i] = False
                 finish(i)
+        # between full lockstep cycles: next iteration's phase-boundary
+        # checks have not run yet, so a resume replays them identically
+        if ckpt_path is not None and batch.cycle % checkpoint_every == 0:
+            save()
 
+    if ckpt_path is not None:
+        # completed: the checkpoint would resume into a finished batch
+        try:
+            os.unlink(ckpt_path)
+        except OSError:
+            pass
     return results  # type: ignore[return-value]

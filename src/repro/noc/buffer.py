@@ -96,3 +96,23 @@ class InputVC:
         self.out_port = None
         self.out_vc = -1
         self.wait_since = now
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, pkts) -> dict:
+        from .snapshot import encode_flit
+        return {"buffer": [encode_flit(f, pkts) for f in self.buffer],
+                "state": int(self.state),
+                "out_port": (None if self.out_port is None
+                             else int(self.out_port)),
+                "out_vc": self.out_vc,
+                "wait_since": self.wait_since}
+
+    def restore_state(self, data: dict, pkts) -> None:
+        from .snapshot import decode_flit
+        self.buffer = deque(decode_flit(f, pkts) for f in data["buffer"])
+        self.state = VCState(data["state"])
+        self.out_port = (None if data["out_port"] is None
+                         else Direction(data["out_port"]))
+        self.out_vc = data["out_vc"]
+        self.wait_since = data["wait_since"]

@@ -122,6 +122,50 @@ class DelayChannel(Generic[T]):
     def __bool__(self) -> bool:
         return bool(self._q)
 
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, encode=None) -> dict:
+        """In-flight items + the utilization counter.
+
+        Wheel registration is deliberately *not* serialized — it is
+        kernel-local derived state; :meth:`reschedule` rebuilds it on
+        restore from the queue contents alone, which is also what makes
+        snapshots portable across kernels.
+        """
+        if encode is None:
+            q = [[arrival, item] for arrival, item in self._q]
+        else:
+            q = [[arrival, encode(item)] for arrival, item in self._q]
+        return {"q": q, "sent": self.sent}
+
+    def restore_state(self, data: dict, decode=None) -> None:
+        if decode is None:
+            self._q = deque((arrival, item) for arrival, item in data["q"])
+        else:
+            self._q = deque((arrival, decode(item))
+                            for arrival, item in data["q"])
+        self.sent = data["sent"]
+        self.scheduled = False
+
+    def reschedule(self) -> None:
+        """Re-register into the bound wheel from current queue contents.
+
+        Called once per channel at the end of a network restore, after
+        the owning kernel's wheels have been cleared; a no-op for
+        unbound (dense/standalone) channels and empty queues.
+        """
+        self.scheduled = False
+        wheel = self.wheel
+        q = self._q
+        if wheel is not None and q:
+            self.scheduled = True
+            head = q[0][0]
+            bucket = wheel.get(head)
+            if bucket is None:
+                wheel[head] = [self]
+            else:
+                bucket.append(self)
+
 
 class CreditChannel(DelayChannel[int]):
     """Credit return wire. Items are global VC indices being credited."""

@@ -85,6 +85,15 @@ class Mechanism:
         """Routers this mechanism could ever power-gate (for reporting)."""
         return frozenset()
 
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self, pkts) -> dict:
+        """Mechanism-owned mutable state (base: none — all derived)."""
+        return {}
+
+    def restore_state(self, data: dict, pkts) -> None:
+        pass
+
 
 class BaselineMechanism(Mechanism):
     """Table I baseline: all routers always on, YX routing."""

@@ -497,3 +497,90 @@ class Network:
         for r in self.routers:
             out[r.state.name] = out.get(r.state.name, 0) + 1
         return out
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Freeze every stateful component (see ``docs/checkpoint.md``).
+
+        Call between cycles only.  Use
+        :func:`~repro.noc.snapshot.snapshot_network` for the versioned
+        envelope.
+        """
+        from ..gating.schedule import schedule_to_epochs
+        from .snapshot import PacketTable
+        pkts = PacketTable()
+        data = {
+            "mechanism": self.cfg.mechanism,
+            "width": self.cfg.width,
+            "height": self.cfg.height,
+            "cycle": self.cycle,
+            "pid": self._pid,
+            "flits": self._flits,
+            "injection_frozen": self.injection_frozen,
+            "active_mask": self._active_mask,
+            "cp_idx": self._cp_idx,
+            "gating": schedule_to_epochs(self.gating),
+            "routers": [r.snapshot_state(pkts) for r in self.routers],
+            "mech": self.mech.snapshot_state(pkts),
+            "stats": self.stats.snapshot_state(),
+            "accountant": self.accountant.snapshot_state(),
+            "faults": (None if self._faults is None
+                       else self._faults.snapshot_state()),
+        }
+        # encoded last: every component has registered its packets by now
+        data["packets"] = pkts.encode()
+        return data
+
+    def restore_state(self, data: dict, *, clear_wheels: bool = True) -> None:
+        """Rebuild from :meth:`snapshot_state` onto this fresh network.
+
+        The network must be constructed from the same config (mechanism
+        and topology are validated; the kernel may differ — wheels are
+        re-derived from channel queues).  ``clear_wheels=False`` is for
+        :class:`~repro.noc.batched.ReplicaBatch`, whose *shared* wheels
+        hold other replicas' registrations and are cleared once by the
+        batch before restoring each member.
+        """
+        from ..gating.schedule import schedule_from_epochs
+        from .snapshot import PacketIndex, require
+        require(data.get("mechanism") == self.cfg.mechanism,
+                f"snapshot is for mechanism {data.get('mechanism')!r}, "
+                f"network runs {self.cfg.mechanism!r}")
+        require(data.get("width") == self.cfg.width
+                and data.get("height") == self.cfg.height,
+                f"snapshot mesh {data.get('width')}x{data.get('height')} "
+                f"!= network {self.cfg.width}x{self.cfg.height}")
+        self.cycle = data["cycle"]
+        self._pid = data["pid"]
+        self._flits = data["flits"]
+        self.injection_frozen = data["injection_frozen"]
+        self._active_mask = data["active_mask"]
+        # install the flattened schedule directly — mechanism reactions
+        # to past schedule changes are already inside the components'
+        # restored state, so on_schedule_change must NOT fire again
+        schedule = schedule_from_epochs(data["gating"])
+        self.gating = schedule
+        self._change_points = tuple(schedule.change_points)
+        self._cp_idx = data["cp_idx"]
+        pkts = PacketIndex(data["packets"])
+        if clear_wheels:
+            self._flit_wheel.clear()
+            self._credit_wheel.clear()
+        for r, rd in zip(self.routers, data["routers"]):
+            r.restore_state(rd, pkts)
+        # wheel registration is derived state: rebuild it for whatever
+        # kernel this network runs (dense channels bind no wheel — no-op)
+        for r in self.routers:
+            for ch in r.out_flit.values():
+                ch.reschedule()
+            for ch in r.out_credit.values():
+                ch.reschedule()
+        self.mech.restore_state(data["mech"], pkts)
+        self.stats.restore_state(data["stats"])
+        self.accountant.restore_state(data["accountant"])
+        if data["faults"] is not None:
+            require(self._faults is not None,
+                    "snapshot carries fault-injector state but no "
+                    "injector is attached to the restore target")
+            self._faults.restore_state(data["faults"])

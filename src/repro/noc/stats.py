@@ -87,6 +87,24 @@ class StatsCollector:
         self.max_latency = 0
         self.samples: list[tuple[int, int]] = []
 
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    _SNAP_FIELDS = ("packets_injected", "packets_ejected", "packets_dropped",
+                    "flits_ejected", "measured_packets", "latency_sum",
+                    "network_latency_sum", "router_hops_sum", "link_hops_sum",
+                    "flov_hops_sum", "escaped_packets", "max_latency",
+                    "warmup")
+
+    def snapshot_state(self) -> dict:
+        data = {f: getattr(self, f) for f in self._SNAP_FIELDS}
+        data["samples"] = [list(s) for s in self.samples]
+        return data
+
+    def restore_state(self, data: dict) -> None:
+        for f in self._SNAP_FIELDS:
+            setattr(self, f, data[f])
+        self.samples = [tuple(s) for s in data["samples"]]
+
     # -- recording -----------------------------------------------------------
 
     def on_inject(self, pkt: Packet) -> None:

@@ -185,3 +185,26 @@ class EnergyAccountant:
             dynamic_j=self.dynamic_j,
             gating_j=self.gating_events * self.pcfg.gating_overhead_j,
         )
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "n_on": self.n_on,
+            "n_flov_sleep": self.n_flov_sleep,
+            "n_rp_sleep": self.n_rp_sleep,
+            "last_sync": self._last_sync,
+            "window_start": self._window_start,
+            "static_j": self._static_j,
+            "counters": self.counters(),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.n_on = data["n_on"]
+        self.n_flov_sleep = data["n_flov_sleep"]
+        self.n_rp_sleep = data["n_rp_sleep"]
+        self._last_sync = data["last_sync"]
+        self._window_start = data["window_start"]
+        self._static_j = data["static_j"]
+        for name, value in data["counters"].items():
+            setattr(self, name, value)

@@ -7,9 +7,11 @@ See :mod:`repro.service.app` for the endpoint reference and
 from .app import EXECUTOR_KINDS, QUEUE_WAIT_BUCKETS, WALL_BUCKETS, \
     ExperimentService
 from .client import ServiceClient, ServiceError
-from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
-                   SUCCESS_STATES, TERMINAL_STATES, Job, JobCancelled,
+from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, INTERRUPTED,
+                   PREEMPTED, QUEUED, RUNNING, SUCCESS_STATES,
+                   TERMINAL_STATES, Job, JobCancelled, JobPreempted,
                    JobStore)
+from .journal import JobJournal
 from .queue import JobQueue
 from .sse import decode_stream, encode_event
 
@@ -23,13 +25,17 @@ __all__ = [
     "Job",
     "JobStore",
     "JobQueue",
+    "JobJournal",
     "JobCancelled",
+    "JobPreempted",
     "QUEUED",
     "RUNNING",
+    "PREEMPTED",
     "DONE",
     "FAILED",
     "CANCELLED",
     "CACHE_HIT",
+    "INTERRUPTED",
     "TERMINAL_STATES",
     "SUCCESS_STATES",
     "encode_event",

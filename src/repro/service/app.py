@@ -30,7 +30,10 @@ Endpoints
 ``GET``     ``/jobs/<id>/trace``     the job's distributed span trace
                                      (``?format=chrome`` for a
                                      Perfetto-loadable document)
-``DELETE``  ``/jobs/<id>``           cancel (also ``POST /jobs/<id>/cancel``)
+``DELETE``  ``/jobs/<id>``           cancel (also ``POST /jobs/<id>/cancel``);
+                                     ``?preempt=true`` checkpoints a running
+                                     job and requeues it as ``preempted``
+                                     instead of killing it
 ``GET``     ``/metrics``             plain-text ``name value`` exposition
                                      (``?format=json`` for full detail,
                                      ``?format=prometheus`` for Prometheus
@@ -66,6 +69,17 @@ serves the tree; SSE streams add live per-job ``metrics`` events;
 service log lines carry the trace/span ids when JSON logging is on
 (``repro serve --log-json``); SIGTERM/SIGINT flush span buffers and a
 metrics snapshot to ``--telemetry-dir``.
+
+Durability (``repro serve --state-dir``, see ``docs/checkpoint.md``):
+with a state directory, every job transition lands in an append-only
+JSONL journal replayed at boot — terminal jobs stay queryable across
+restarts, queued/preempted jobs re-enter the queue, and jobs a dead
+process left running are requeued to resume from their cells'
+periodic simulation checkpoints (written under
+``<state-dir>/checkpoints/`` every ``checkpoint_every`` cycles).  The
+same checkpoints back ``DELETE /jobs/<id>?preempt=true``: the running
+job is checkpointed out of its worker, requeued as ``preempted``, and
+finishes later with a result digest identical to an unpreempted run.
 """
 
 from __future__ import annotations
@@ -82,14 +96,17 @@ from urllib.parse import parse_qsl, unquote
 
 from ..harness.benchdiff import load_bench_source
 from ..harness.cache import ResultCache, result_to_dict, stable_digest
+from ..harness.checkpoint import CheckpointInterrupt
 from ..harness.parallel import (BatchedExecutor, Executor, ParallelSweep,
                                 PoolExecutor, SerialExecutor, SweepTask)
 from ..obs.export import spans_to_chrome_trace
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import DEFAULT_SPAN_CAPACITY, SpanTracer
 from ..spec import JobEnvelope, SpecError, SweepSpec
-from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, QUEUED, RUNNING,
-                   SUCCESS_STATES, Job, JobCancelled, JobStore)
+from .jobs import (CACHE_HIT, CANCELLED, DONE, FAILED, INTERRUPTED,
+                   PREEMPTED, QUEUED, RUNNING, SUCCESS_STATES, Job,
+                   JobCancelled, JobPreempted, JobStore)
+from .journal import JobJournal
 from .queue import JobQueue
 from .sse import encode_event
 
@@ -99,6 +116,10 @@ log = logging.getLogger("repro.service")
 
 #: named executor strategies ``--executor`` accepts
 EXECUTOR_KINDS = ("pool", "serial", "batched")
+
+#: checkpoint cadence (cycles) when ``state_dir`` is set and no explicit
+#: ``checkpoint_every`` was given; 0 disables checkpointing entirely
+DEFAULT_CHECKPOINT_EVERY = 1_000
 
 #: job wall-clock histogram bucket upper edges, seconds
 WALL_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
@@ -117,6 +138,9 @@ _METRIC_HELP = {
     "service.cells.cache_hits": "Experiment cells served from the store",
     "service.dedupe.inflight_hits": "Submissions parked behind an "
                                     "identical in-flight job",
+    "service.jobs.preempted": "Preemptions: running jobs checkpointed "
+                              "out of a worker and requeued",
+    "service.jobs.recovered": "Jobs rebuilt from the journal at boot",
     "service.jobs.running": "Jobs currently executing",
     "service.queue.depth": "Jobs currently queued",
     "service.job.wall_seconds": "Job wall-clock from dequeue to terminal "
@@ -185,6 +209,18 @@ class ExperimentService:
         the flush.
     span_capacity:
         Finished-span bound per job trace (oldest dropped first).
+    state_dir:
+        Directory for durable service state (``repro serve
+        --state-dir``): the append-only job journal replayed at boot
+        *and* the per-cell simulation checkpoints that make preemption
+        and crash recovery resume mid-run.  ``None`` (default) keeps
+        the service fully in-memory, as before.
+    checkpoint_every:
+        Simulation-checkpoint cadence in cycles for jobs run with a
+        ``state_dir`` (default :data:`DEFAULT_CHECKPOINT_EVERY`); ``0``
+        disables checkpointing, downgrading preemption to cell
+        boundaries and crash recovery of running jobs to
+        ``interrupted``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -197,7 +233,9 @@ class ExperimentService:
                  bench_source: str | None = None,
                  max_body: int = 8 * 1024 * 1024,
                  telemetry_dir: str | None = None,
-                 span_capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+                 span_capacity: int = DEFAULT_SPAN_CAPACITY,
+                 state_dir: str | None = None,
+                 checkpoint_every: int | None = None) -> None:
         if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor {executor!r}; expected one "
                              f"of {EXECUTOR_KINDS} or an Executor")
@@ -214,6 +252,15 @@ class ExperimentService:
         self._max_body = max_body
         self._telemetry_dir = telemetry_dir
         self._span_capacity = span_capacity
+        self._journal: JobJournal | None = None
+        self._checkpoint_dir: Path | None = None
+        self._checkpoint_every = (DEFAULT_CHECKPOINT_EVERY
+                                  if checkpoint_every is None
+                                  else max(0, int(checkpoint_every)))
+        if state_dir is not None:
+            self._journal = JobJournal(state_dir)
+            if self._checkpoint_every:
+                self._checkpoint_dir = Path(state_dir) / "checkpoints"
 
         self.store = JobStore()
         self.queue = JobQueue()
@@ -231,7 +278,8 @@ class ExperimentService:
                      "service.jobs.failed", "service.jobs.cancelled",
                      "service.jobs.cache_hits", "service.cells.executed",
                      "service.cells.cache_hits",
-                     "service.dedupe.inflight_hits"):
+                     "service.dedupe.inflight_hits",
+                     "service.jobs.preempted", "service.jobs.recovered"):
             self.metrics.counter(name)
         self.metrics.gauge("service.jobs.running")
         self.metrics.gauge("service.queue.depth")
@@ -244,12 +292,58 @@ class ExperimentService:
     async def start_async(self) -> int:
         """Bind, start the worker loops, return the actual port."""
         self._loop = asyncio.get_running_loop()
+        self._recover()
         self._server = await asyncio.start_server(
             self._handle_conn, self._host, self._port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._worker_tasks = [asyncio.create_task(self._worker())
                               for _ in range(self.worker_count)]
         return self.port
+
+    def _recover(self) -> None:
+        """Replay the job journal into the store (boot, pre-serving).
+
+        Terminal jobs come back queryable (result payloads rebuilt from
+        the cache when every cell is still stored, digest-only
+        otherwise).  Queued and preempted jobs re-enter the queue.
+        Jobs a dead process left ``running`` are requeued when
+        checkpointing is on — their cells resume from the last periodic
+        checkpoint plus the cache — and finished as ``interrupted``
+        when it is off.
+        """
+        if self._journal is None:
+            return
+        recovered = self._journal.replay(self.store)
+        for job in recovered:
+            self.metrics.counter("service.jobs.recovered").inc()
+            if job.status == RUNNING:
+                if self._checkpoint_dir is None:
+                    job.error = ("service restarted mid-run with "
+                                 "checkpointing disabled")
+                    job.status = INTERRUPTED
+                else:
+                    job.status = QUEUED
+            if job.terminal:
+                if (job.status in SUCCESS_STATES
+                        and (job.result is None
+                             or "cells" not in job.result)):
+                    results = self._probe_cache(job)
+                    if results is not None:
+                        job.result = self._result_payload(job.envelope,
+                                                          results)
+                job.finished = job.finished or time.time()
+                self._publish(job, "end", {"status": job.status,
+                                           "recovered": True})
+                continue
+            self._publish(job, "status", {"status": job.status,
+                                          "recovered": True})
+            self._enqueue_primary(job)
+            log.info("job recovered", extra=self._log_ids(job, {
+                "status": job.status}))
+        if recovered:
+            log.info("journal replayed",
+                     extra={"jobs": len(recovered),
+                            "path": str(self._journal.path)})
 
     def request_stop(self) -> None:
         """Ask a running service to shut down gracefully.
@@ -450,6 +544,8 @@ class ExperimentService:
                      from_cache: bool) -> None:
             if job.cancel_requested.is_set():
                 raise JobCancelled(job.id)
+            if job.preempt_requested.is_set():
+                raise JobPreempted(job.id)
             job.done_cells = done
             if from_cache:
                 job.cache_hit_cells += 1
@@ -473,7 +569,13 @@ class ExperimentService:
             progress=progress, executor=self._make_executor(),
             span_tracer=job.span_tracer,
             span_parent=(job.root_span.context
-                         if job.root_span is not None else None))
+                         if job.root_span is not None else None),
+            checkpoint_every=(self._checkpoint_every
+                              if self._checkpoint_dir is not None else None),
+            checkpoint_dir=self._checkpoint_dir,
+            # mid-cell preemption: in-process executors poll this at
+            # checkpoint boundaries (pool workers stay cell-granular)
+            interrupt=job.preempt_requested.is_set)
         results = engine.run(tasks)
         payload = self._result_payload(job.envelope, results)
         executed = len(tasks) - engine.last_cache_hits
@@ -484,11 +586,13 @@ class ExperimentService:
             job_id = await self.queue.get()
             self._gauges()
             job = self.store.get(job_id)
-            if job is None or job.status != QUEUED:
+            if job is None or job.status not in (QUEUED, PREEMPTED):
                 continue
             if job.cancel_requested.is_set():
                 self._finish_job(job, CANCELLED)
                 continue
+            # a re-dequeued preempted job starts a fresh attempt
+            job.preempt_requested.clear()
             if job.enqueued_at is not None:
                 job.queue_wait_s = time.monotonic() - job.enqueued_at
                 self.metrics.histogram(
@@ -506,12 +610,16 @@ class ExperimentService:
             self._publish(job, "status", {"status": RUNNING})
             log.info("job started", extra=self._log_ids(job, {
                 "queue_wait_s": job.queue_wait_s}))
+            if self._journal is not None:
+                self._journal.start(job)
             try:
                 payload, executed, hits = await asyncio.to_thread(
                     self._run_job, job)
             except JobCancelled:
                 self.metrics.counter("service.jobs.cancelled").inc()
                 self._finish_job(job, CANCELLED)
+            except (JobPreempted, CheckpointInterrupt):
+                self._preempt_job(job)
             except asyncio.CancelledError:
                 job.cancel_requested.set()
                 self._finish_job(job, CANCELLED)
@@ -535,10 +643,35 @@ class ExperimentService:
                 self._running_jobs -= 1
                 self._gauges()
 
+    def _preempt_job(self, job: Job) -> None:
+        """Non-terminal preemption: requeue the job behind its peers.
+
+        Cells already computed sit in the result cache and the cell in
+        flight (under an in-process executor) left a checkpoint, so the
+        next attempt resumes rather than recomputes; the job keeps its
+        dedupe-primary role and its followers.
+        """
+        job.preempt_requested.clear()
+        job.status = PREEMPTED
+        job.preemptions += 1
+        self.metrics.counter("service.jobs.preempted").inc()
+        if self._journal is not None:
+            self._journal.preempt(job)
+        self._publish(job, "status", {"status": PREEMPTED,
+                                      "done": job.done_cells,
+                                      "total": job.total_cells})
+        log.info("job preempted", extra=self._log_ids(job, {
+            "done": job.done_cells, "preemptions": job.preemptions}))
+        job.enqueued_at = time.monotonic()
+        self.queue.put(job.id, job.priority)
+        self._gauges()
+
     def _finish_job(self, job: Job, status: str) -> None:
         """Terminal transition: bookkeeping, SSE end event, followers."""
         job.status = status
         job.finished = time.time()
+        if self._journal is not None:
+            self._journal.finish(job)
         key = job.envelope.dedupe_key()
         if self.store.inflight.get(key) == job.id:
             del self.store.inflight[key]
@@ -668,6 +801,8 @@ class ExperimentService:
         job.span_tracer = tracer
         job.root_span = root
         root.set_attribute("job.id", job.id)
+        if self._journal is not None:
+            self._journal.submit(job)
         self.metrics.counter("service.jobs.submitted").inc()
         self._publish(job, "status", {"status": QUEUED,
                                       "total": job.total_cells})
@@ -692,10 +827,18 @@ class ExperimentService:
             self._enqueue_primary(job)
         return 201, job.snapshot()
 
-    def _cancel(self, job: Job) -> tuple[int, dict]:
+    def _cancel(self, job: Job, *, preempt: bool = False) -> tuple[int, dict]:
         if job.terminal:
             return 409, {"error": f"job {job.id} is already {job.status}"}
-        if job.status == QUEUED:
+        if preempt:
+            if job.status != RUNNING:
+                return 409, {"error": f"job {job.id} is {job.status}; "
+                                      f"only running jobs can be preempted"}
+            # flag it; the worker observes at the next cell boundary, or
+            # mid-cell at the next checkpoint under in-process executors
+            job.preempt_requested.set()
+            return 202, dict(job.snapshot(), preempting=True)
+        if job.status in (QUEUED, PREEMPTED):
             job.cancel_requested.set()
             self.queue.cancel(job.id)
             if job.dedup_of is not None:
@@ -711,7 +854,12 @@ class ExperimentService:
 
     def _job_result(self, job: Job) -> tuple[int, dict]:
         if job.status in SUCCESS_STATES:
-            assert job.result is not None
+            if job.result is None or "cells" not in job.result:
+                # journal-replayed success whose cells have left the
+                # cache: the digest (when recorded) is all that remains
+                return 409, {"error": f"result for job {job.id} is no "
+                                      f"longer available after restart",
+                             "digest": (job.result or {}).get("digest")}
             return 200, dict(job.result, id=job.id, status=job.status)
         if job.terminal:
             return 409, {"error": f"job {job.id} finished as "
@@ -879,7 +1027,9 @@ class ExperimentService:
             if req.method == "GET":
                 await send_json(200, job.snapshot())
             elif req.method == "DELETE":
-                status, obj = self._cancel(job)
+                status, obj = self._cancel(
+                    job, preempt=req.query.get("preempt", "").lower()
+                    in ("true", "1"))
                 await send_json(status, obj)
             else:
                 raise _HttpError(405,

@@ -93,6 +93,11 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         return self._request("DELETE", f"/jobs/{job_id}")
 
+    def preempt(self, job_id: str) -> dict:
+        """Checkpoint a running job out of its worker and requeue it
+        (``DELETE ?preempt=true``); 409 unless the job is running."""
+        return self._request("DELETE", f"/jobs/{job_id}?preempt=true")
+
     def metrics(self) -> dict:
         """The full structured metrics document (``?format=json``)."""
         return self._request("GET", "/metrics?format=json")
@@ -135,7 +140,7 @@ class ServiceClient:
         while True:
             snap = self.job(job_id)
             if snap["status"] in ("done", "failed", "cancelled",
-                                  "cache_hit"):
+                                  "cache_hit", "interrupted"):
                 return snap
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -4,16 +4,25 @@ A :class:`Job` wraps one validated :class:`~repro.spec.JobEnvelope`
 with its lifecycle state.  The state machine::
 
     queued ──> running ──> done
-       │          │  └───> failed
-       │          └──────> cancelled
+       │        │ ↑  └───> failed
+       │        │ │ └────> cancelled
+       │        └─│──────> preempted ──> cancelled
+       │          └───────────┘
        ├─────────────────> cancelled
-       └─────────────────> cache_hit     (all cells already in the store,
-                                          or deduped behind an identical
-                                          in-flight job that completed)
+       ├─────────────────> interrupted  (service restarted mid-run with
+       │                                 no way to resume the job)
+       └─────────────────> cache_hit    (all cells already in the store,
+                                         or deduped behind an identical
+                                         in-flight job that completed)
 
 ``cache_hit`` is a first-class terminal status, not a flavor of
 ``done``: it means the service recomputed *nothing* for this job, which
 is exactly the multi-tenant signal the ``/metrics`` endpoint counts.
+``preempted`` is *non*-terminal: the job was checkpointed out of its
+worker (``DELETE /jobs/<id>?preempt=true``) and sits in the queue
+again; when re-dequeued it resumes from its cells' checkpoints and the
+result cache.  ``interrupted`` is the terminal cousin stamped at boot
+replay on jobs a dead service left running with resumption disabled.
 
 Jobs also carry their own SSE event history (``events``): every status
 change and per-cell progress tick is appended with a monotonically
@@ -31,18 +40,22 @@ from typing import Any
 
 from ..spec import JobEnvelope
 
-__all__ = ["Job", "JobStore", "JobCancelled", "QUEUED", "RUNNING", "DONE",
-           "FAILED", "CANCELLED", "CACHE_HIT", "TERMINAL_STATES"]
+__all__ = ["Job", "JobStore", "JobCancelled", "JobPreempted", "QUEUED",
+           "RUNNING", "PREEMPTED", "DONE", "FAILED", "CANCELLED",
+           "CACHE_HIT", "INTERRUPTED", "TERMINAL_STATES"]
 
 QUEUED = "queued"
 RUNNING = "running"
+PREEMPTED = "preempted"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
 CACHE_HIT = "cache_hit"
+INTERRUPTED = "interrupted"
 
 #: states a job never leaves
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, CACHE_HIT})
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, CACHE_HIT,
+                             INTERRUPTED})
 
 #: terminal states that carry a result payload
 SUCCESS_STATES = frozenset({DONE, CACHE_HIT})
@@ -50,6 +63,12 @@ SUCCESS_STATES = frozenset({DONE, CACHE_HIT})
 
 class JobCancelled(Exception):
     """Raised inside a worker when its job's cancel flag is observed."""
+
+
+class JobPreempted(Exception):
+    """Raised inside a worker when its job's preempt flag is observed
+    at a cell boundary (mid-cell preemption surfaces as
+    :class:`~repro.harness.checkpoint.CheckpointInterrupt` instead)."""
 
 
 @dataclass
@@ -78,6 +97,12 @@ class Job:
     #: set by the cancellation endpoint; observed by the worker thread
     #: between cells
     cancel_requested: threading.Event = field(default_factory=threading.Event)
+    #: set by ``DELETE ?preempt=true``; observed at cell boundaries and
+    #: (for in-process executors) at checkpoint boundaries mid-cell
+    preempt_requested: threading.Event = field(
+        default_factory=threading.Event)
+    #: times this job was checkpointed out of a worker and requeued
+    preemptions: int = 0
     #: ordered SSE history: {"id": n, "event": kind, "data": {...}}
     events: list[dict[str, Any]] = field(default_factory=list)
     #: live SSE subscribers (asyncio.Queue instances)
@@ -122,6 +147,7 @@ class Job:
             "started": self.started,
             "finished": self.finished,
             "started_seq": self.started_seq,
+            "preemptions": self.preemptions,
             "error": self.error,
         }
         if self.result is not None:
@@ -148,6 +174,19 @@ class JobStore:
         job = Job(id=f"j{self._seq:06d}", envelope=envelope, seq=self._seq,
                   total_cells=len(envelope.cells()))
         self._jobs[job.id] = job
+        return job
+
+    def restore_job(self, job_id: str, envelope: JobEnvelope) -> Job:
+        """Recreate a journaled job under its original id (boot replay).
+
+        Advances the id sequence past the restored id so jobs submitted
+        after recovery never collide with journaled ones.
+        """
+        seq = int(job_id.lstrip("j"))
+        self._seq = max(self._seq, seq)
+        job = Job(id=job_id, envelope=envelope, seq=seq,
+                  total_cells=len(envelope.cells()))
+        self._jobs[job_id] = job
         return job
 
     def next_run_seq(self) -> int:

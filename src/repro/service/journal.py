@@ -1,0 +1,107 @@
+"""Append-only job journal: the service's job table, durable on disk.
+
+One JSONL file (``<state-dir>/jobs.jsonl``) records every lifecycle
+transition as it happens — ``submit`` (with the full validated
+envelope), ``start``, ``preempt``, ``finish`` — through the same
+torn-line-tolerant append path the checkpoint layer uses
+(:mod:`repro.atomicio`).  At boot the service replays the journal to
+rebuild its job table: terminal jobs come back with their status (and,
+when every cell is still in the result store, their result payload);
+queued/preempted jobs go back into the queue; jobs a dead process left
+``running`` are either requeued (checkpoints + cache make the rerun
+resume where it stopped) or stamped ``interrupted`` when resumption is
+disabled.
+
+The journal is an event log, not a snapshot: replay is a pure fold over
+the records, so a crash between an event and its append loses at most
+that one transition — a job then replays in its previous state, which
+every consumer already tolerates (re-running a finished cell is a cache
+hit; re-finishing a cancelled job is idempotent).
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..atomicio import append_jsonl, read_jsonl
+from ..spec import JobEnvelope, SpecError
+from .jobs import DONE, PREEMPTED, RUNNING, Job, JobStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    import os
+
+__all__ = ["JobJournal"]
+
+JOURNAL_NAME = "jobs.jsonl"
+
+
+class JobJournal:
+    """Durable job-event log under a service ``--state-dir``."""
+
+    def __init__(self, state_dir: "str | os.PathLike[str]") -> None:
+        self.path = Path(state_dir) / JOURNAL_NAME
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(self, event: str, job: Job, **extra: Any) -> None:
+        entry: dict[str, Any] = {"event": event, "job": job.id}
+        entry.update(extra)
+        append_jsonl(self.path, entry)
+
+    def submit(self, job: Job) -> None:
+        self._record("submit", job, envelope=job.envelope.to_dict())
+
+    def start(self, job: Job) -> None:
+        self._record("start", job)
+
+    def preempt(self, job: Job) -> None:
+        self._record("preempt", job, done=job.done_cells)
+
+    def finish(self, job: Job) -> None:
+        digest = (job.result or {}).get("digest")
+        self._record("finish", job, status=job.status, error=job.error,
+                     digest=digest)
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self, store: JobStore) -> list[Job]:
+        """Rebuild journaled jobs into ``store``; returns them in order.
+
+        Each job comes back in its last recorded state (``running``
+        means the recording process died mid-run); the caller decides
+        how to dispose of the non-terminal ones.  A ``finish`` record's
+        digest is parked on ``job.result`` so a replayed success still
+        reports its digest even when the cells have left the cache.
+        """
+        jobs: dict[str, Job] = {}
+        for entry in read_jsonl(self.path, label="job journal"):
+            if not isinstance(entry, dict):
+                continue
+            kind = entry.get("event")
+            jid = entry.get("job")
+            if kind == "submit":
+                try:
+                    envelope = JobEnvelope.from_dict(entry["envelope"])
+                    jobs[jid] = store.restore_job(jid, envelope)
+                except (SpecError, KeyError, TypeError, ValueError) as exc:
+                    warnings.warn(f"skipping unreplayable job {jid!r} in "
+                                  f"{self.path}: {exc}", RuntimeWarning,
+                                  stacklevel=2)
+                continue
+            job = jobs.get(jid)
+            if job is None:
+                continue
+            if kind == "start":
+                job.status = RUNNING
+            elif kind == "preempt":
+                job.status = PREEMPTED
+                job.preemptions += 1
+                job.done_cells = entry.get("done", job.done_cells)
+            elif kind == "finish":
+                job.status = entry.get("status", DONE)
+                job.error = entry.get("error")
+                if entry.get("digest") is not None:
+                    job.result = {"digest": entry["digest"]}
+        return [jobs[j] for j in sorted(jobs, key=lambda i: jobs[i].seq)]

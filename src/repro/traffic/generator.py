@@ -71,3 +71,16 @@ class TrafficGenerator:
         for _ in range(cycles):
             self.tick()
             self.net.step()
+
+    # -- SimSnapshot protocol -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        from ..noc.snapshot import encode_rng
+        return {"rng": encode_rng(self.rng)}
+
+    def restore_state(self, data: dict) -> None:
+        from ..noc.snapshot import decode_rng
+        decode_rng(self.rng, data["rng"])
+        # force a gated-set refresh on the next tick (the restored
+        # network's schedule holds different frozenset instances)
+        self._active_for = None

@@ -126,3 +126,78 @@ def test_spec_error_paths(tmp_path, capsys):
     assert rc == 2
     rc, _ = run_cli(capsys, "spec", "run", str(tmp_path / "missing.toml"))
     assert rc == 2
+
+
+def test_checkpoint_inspect_and_resume(tmp_path, capsys):
+    """Interrupt a checkpointing run (via the library hook), then drive
+    the frozen state through ``repro checkpoint inspect`` and
+    ``resume`` — the resumed digest matches an uninterrupted run."""
+    import json
+
+    from repro.harness import run_spec
+    from repro.harness.cache import result_to_dict, stable_digest
+    from repro.harness.checkpoint import (CheckpointInterrupt,
+                                          checkpoint_path)
+    from repro.spec import ExperimentSpec
+
+    cell = dict(mechanism="gflov", rate=0.05, gated_fraction=0.4,
+                warmup=100, measure=500, seed=4,
+                overrides={"width": 4, "height": 4})
+    spec = ExperimentSpec(**cell)
+    golden = stable_digest(result_to_dict(run_spec(spec)))
+    with pytest.raises(CheckpointInterrupt):
+        run_spec(spec, checkpoint_every=150, checkpoint_dir=tmp_path,
+                 interrupt=lambda: True)
+    ckpt = checkpoint_path(tmp_path, spec)
+
+    rc, out = run_cli(capsys, "checkpoint", "inspect", str(ckpt))
+    assert rc == 0
+    assert "run_spec" in out and "gflov" in out and "sim cycle" in out
+    assert ckpt.exists(), "inspect must not consume the checkpoint"
+
+    rc, out = run_cli(capsys, "checkpoint", "resume", str(ckpt))
+    assert rc == 0
+    assert golden in out
+    assert not ckpt.exists(), "a finished resume consumes the checkpoint"
+
+    spec_file = tmp_path / "cell.json"
+    spec_file.write_text(json.dumps(cell))
+    rc, out = run_cli(capsys, "spec", "run", str(spec_file),
+                      "--checkpoint-every", "150",
+                      "--checkpoint-dir", str(tmp_path))
+    assert rc == 0 and golden in out
+
+
+def test_checkpoint_inspect_batch(tmp_path, capsys):
+    from repro.harness.checkpoint import (CheckpointInterrupt,
+                                          batch_checkpoint_path)
+    from repro.noc.batched import run_spec_batch
+    from repro.spec import ExperimentSpec
+
+    specs = [ExperimentSpec(mechanism=m, rate=0.05, gated_fraction=0.2,
+                            warmup=100, measure=400, seed=6,
+                            overrides={"width": 4, "height": 4})
+             for m in ("rflov", "gflov")]
+    with pytest.raises(CheckpointInterrupt):
+        run_spec_batch(specs, checkpoint_every=150, checkpoint_dir=tmp_path,
+                       interrupt=lambda: True)
+    ckpt = batch_checkpoint_path(tmp_path, [s.resolved() for s in specs])
+
+    rc, out = run_cli(capsys, "checkpoint", "inspect", str(ckpt))
+    assert rc == 0
+    assert "run_spec_batch" in out and "2 live" in out
+
+    rc, out = run_cli(capsys, "checkpoint", "resume", str(ckpt))
+    assert rc == 0 and out.count("digest") == 2
+    assert not ckpt.exists()
+
+
+def test_checkpoint_command_error_paths(tmp_path, capsys):
+    rc, _ = run_cli(capsys, "checkpoint", "inspect",
+                    str(tmp_path / "missing.json"))
+    assert rc == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": 1, "kind": "mystery"}')
+    rc, _ = run_cli(capsys, "checkpoint", "resume", str(bad))
+    assert rc == 2
+    assert bad.exists(), "the CLI never unlinks what it could not use"
